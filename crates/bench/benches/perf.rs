@@ -1,0 +1,98 @@
+//! Criterion benches for the substrates: graph construction and
+//! queries, simulator throughput, statistics kernels and C4.5
+//! training. These are the "is this library production-usable" numbers
+//! rather than paper artifacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digg_ml::c45::{train, C45Params};
+use digg_ml::data::{Instance, MlDataset};
+use digg_sim::population::{Population, PopulationConfig};
+use digg_sim::{Sim, SimConfig};
+use digg_stats::distributions::{BoundedPowerLaw, Zipf};
+use digg_stats::sampling::AliasTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use social_graph::generators::{erdos_renyi, preferential_attachment};
+use social_graph::traversal::{bfs_distances, Direction};
+use social_graph::UserId;
+use std::hint::black_box;
+
+fn bench_graph(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("graph_generate_pa_10k_m3", |b| {
+        b.iter(|| black_box(preferential_attachment(&mut rng, 10_000, 3, 1.0)))
+    });
+    let g = erdos_renyi(&mut rng, 20_000, 5.0 / 20_000.0);
+    c.bench_function("graph_bfs_20k", |b| {
+        b.iter(|| black_box(bfs_distances(&g, UserId(0), Direction::Friends)))
+    });
+    let pa = preferential_attachment(&mut rng, 20_000, 4, 1.0);
+    c.bench_function("graph_fan_membership_query", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..1000u32 {
+                if pa.watches(UserId(i % 20_000), UserId((i * 7) % 20_000)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    c.bench_function("sim_toy_one_day", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::toy(7);
+            let mut rng = StdRng::seed_from_u64(7);
+            let pop = Population::generate(&mut rng, &PopulationConfig::toy(cfg.users));
+            let mut sim = Sim::new(cfg, pop);
+            sim.run(1440);
+            black_box(sim.metrics().total_votes())
+        })
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let zipf = Zipf::new(10_000, 1.2);
+    c.bench_function("stats_zipf_sample_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..100_000 {
+                acc += zipf.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    let weights: Vec<f64> = (0..25_000).map(|_| rng.random::<f64>() + 0.01).collect();
+    c.bench_function("stats_alias_build_25k", |b| {
+        b.iter(|| black_box(AliasTable::new(&weights)))
+    });
+    let pl = BoundedPowerLaw::new(1, 100_000, 2.3);
+    let xs: Vec<u64> = (0..50_000).map(|_| pl.sample(&mut rng)).collect();
+    c.bench_function("stats_powerlaw_fit_50k", |b| {
+        b.iter(|| black_box(digg_stats::fit::fit_alpha(&xs, 5)))
+    });
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ds = MlDataset::new(vec!["v10", "fans1"]);
+    for _ in 0..2_000 {
+        let v10 = rng.random_range(0..11) as f64;
+        let fans = rng.random_range(0..500) as f64;
+        let label = v10 < 4.0 || (fans > 85.0 && v10 < 8.0) || rng.random::<f64>() < 0.1;
+        ds.push(Instance::new(vec![v10, fans], label));
+    }
+    c.bench_function("ml_c45_train_2k", |b| {
+        b.iter(|| black_box(train(&ds, &C45Params::default())))
+    });
+}
+
+criterion_group! {
+    name = perf;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_graph, bench_sim, bench_stats, bench_ml
+}
+criterion_main!(perf);

@@ -1,0 +1,42 @@
+//! Run the ablation experiments ABL1–ABL5 (see DESIGN.md §4) and
+//! print their tables.
+//!
+//! Usage: `ablations [--skip-sims]` — `--skip-sims` omits the two
+//! extra platform simulations of ABL2 (the slowest part).
+
+use digg_bench::ablations::{
+    epidemics_ablation, feature_ablation, modular_cascade_ablation, observation_ablation,
+    promotion_ablation, render_epidemics, render_feature_ablation,
+    render_observation_ablation, render_promotion_ablation, render_window_sweep,
+    window_sweep,
+};
+use digg_bench::{emit, seed_from_env, shared_synthesis};
+use digg_core::features::INTERESTINGNESS_THRESHOLD;
+
+fn main() {
+    let skip_sims = std::env::args().any(|a| a == "--skip-sims");
+    let seed = seed_from_env();
+    let ds = &shared_synthesis().dataset;
+
+    let rows = feature_ablation(ds, INTERESTINGNESS_THRESHOLD, seed);
+    emit("abl1_features", &render_feature_ablation(&rows), &rows);
+
+    let rows = window_sweep(ds, INTERESTINGNESS_THRESHOLD, seed);
+    emit("abl3_window", &render_window_sweep(&rows), &rows);
+
+    let rows = observation_ablation(ds, INTERESTINGNESS_THRESHOLD, seed);
+    emit("abl5_observation", &render_observation_ablation(&rows), &rows);
+
+    if !skip_sims {
+        let rows = promotion_ablation(seed, 3);
+        emit("abl2_promotion", &render_promotion_ablation(&rows), &rows);
+    }
+
+    let thresholds = epidemics_ablation(seed, 3000);
+    let cascades = modular_cascade_ablation(seed, 300);
+    emit(
+        "abl4_epidemics",
+        &render_epidemics(&thresholds, &cascades),
+        &(thresholds, cascades),
+    );
+}

@@ -1,0 +1,161 @@
+//! In-network vote analysis — the story's *cascade* (paper §4.1).
+//!
+//! "Because we know the social network of Digg users, we can count how
+//! many votes came from within the network — from fans of the previous
+//! voters. This is the story's cascade."
+
+use social_graph::{SocialGraph, UserId};
+
+/// For each vote after the submitter's, whether it is in-network: the
+/// voter is a fan of any earlier voter (including the submitter).
+///
+/// `voters` is the chronological voter list with the submitter first
+/// (the scraped artifact). The returned vector has
+/// `voters.len().saturating_sub(1)` entries, aligned with
+/// `voters[1..]`.
+///
+/// # Examples
+///
+/// ```
+/// use social_graph::{GraphBuilder, UserId};
+/// use digg_core::cascade::in_network_flags;
+///
+/// // User 1 is a fan of user 0.
+/// let mut b = GraphBuilder::new(3);
+/// b.add_watch(UserId(1), UserId(0));
+/// let graph = b.build();
+///
+/// // Story submitted by 0; then 1 votes (fan: in-network), then 2
+/// // (unconnected: independent discovery).
+/// let voters = [UserId(0), UserId(1), UserId(2)];
+/// assert_eq!(in_network_flags(&graph, &voters), vec![true, false]);
+/// ```
+pub fn in_network_flags(graph: &SocialGraph, voters: &[UserId]) -> Vec<bool> {
+    let mut flags = Vec::with_capacity(voters.len().saturating_sub(1));
+    for k in 1..voters.len() {
+        flags.push(graph.is_fan_of_any(voters[k], &voters[..k]));
+    }
+    flags
+}
+
+/// Number of in-network votes among the first `n` votes **not
+/// counting the submitter** — the paper's `v_n` (e.g. `v10`).
+///
+/// Stories with fewer than `n` post-submitter votes are counted over
+/// what they have; use [`has_enough_votes`] to filter first when the
+/// experiment requires a full window.
+pub fn in_network_count_within(graph: &SocialGraph, voters: &[UserId], n: usize) -> usize {
+    in_network_flags(graph, voters)
+        .into_iter()
+        .take(n)
+        .filter(|&f| f)
+        .count()
+}
+
+/// Whether the story has at least `n` votes beyond the submitter's.
+pub fn has_enough_votes(voters: &[UserId], n: usize) -> bool {
+    voters.len() > n
+}
+
+/// Cumulative in-network counts after each vote (index `k` = after
+/// `k + 1` post-submitter votes); useful for spread profiles.
+pub fn cumulative_cascade(graph: &SocialGraph, voters: &[UserId]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut acc = 0usize;
+    for f in in_network_flags(graph, voters) {
+        if f {
+            acc += 1;
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Fraction of the first `n` post-submitter votes that are
+/// in-network; `None` if the story has fewer than `n` such votes.
+pub fn in_network_fraction(graph: &SocialGraph, voters: &[UserId], n: usize) -> Option<f64> {
+    if !has_enough_votes(voters, n) || n == 0 {
+        return None;
+    }
+    Some(in_network_count_within(graph, voters, n) as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social_graph::GraphBuilder;
+
+    /// Users 1 and 2 are fans of 0; user 3 is a fan of 2; user 4 is
+    /// unconnected.
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_watch(UserId(1), UserId(0));
+        b.add_watch(UserId(2), UserId(0));
+        b.add_watch(UserId(3), UserId(2));
+        b.build()
+    }
+
+    #[test]
+    fn flags_follow_fan_relationships() {
+        let g = graph();
+        // Submitter 0; voter 1 (fan of 0: in), voter 4 (out), voter 3
+        // (fan of 2 — but 2 hasn't voted: out), voter 2 (fan of 0: in).
+        let voters = [UserId(0), UserId(1), UserId(4), UserId(3), UserId(2)];
+        assert_eq!(in_network_flags(&g, &voters), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn order_matters_for_cascades() {
+        let g = graph();
+        // If 2 votes before 3, then 3's vote becomes in-network.
+        let voters = [UserId(0), UserId(2), UserId(3)];
+        assert_eq!(in_network_flags(&g, &voters), vec![true, true]);
+        let voters = [UserId(4), UserId(3), UserId(2)];
+        // 3 is not a fan of 4; 2 is not a fan of 4 or 3.
+        assert_eq!(in_network_flags(&g, &voters), vec![false, false]);
+    }
+
+    #[test]
+    fn count_within_window() {
+        let g = graph();
+        let voters = [UserId(0), UserId(1), UserId(4), UserId(2)];
+        assert_eq!(in_network_count_within(&g, &voters, 1), 1);
+        assert_eq!(in_network_count_within(&g, &voters, 2), 1);
+        assert_eq!(in_network_count_within(&g, &voters, 3), 2);
+        assert_eq!(in_network_count_within(&g, &voters, 100), 2);
+        assert_eq!(in_network_count_within(&g, &voters, 0), 0);
+    }
+
+    #[test]
+    fn enough_votes_excludes_submitter() {
+        let voters = [UserId(0), UserId(1), UserId(2)];
+        assert!(has_enough_votes(&voters, 2));
+        assert!(!has_enough_votes(&voters, 3));
+        assert!(!has_enough_votes(&[], 0));
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone() {
+        let g = graph();
+        let voters = [UserId(0), UserId(1), UserId(4), UserId(2), UserId(3)];
+        let c = cumulative_cascade(&g, &voters);
+        assert_eq!(c, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fraction_requires_full_window() {
+        let g = graph();
+        let voters = [UserId(0), UserId(1), UserId(4)];
+        assert_eq!(in_network_fraction(&g, &voters, 2), Some(0.5));
+        assert_eq!(in_network_fraction(&g, &voters, 3), None);
+        assert_eq!(in_network_fraction(&g, &voters, 0), None);
+    }
+
+    #[test]
+    fn empty_and_single_voter_edge_cases() {
+        let g = graph();
+        assert!(in_network_flags(&g, &[]).is_empty());
+        assert!(in_network_flags(&g, &[UserId(0)]).is_empty());
+        assert_eq!(in_network_count_within(&g, &[UserId(0)], 10), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! One module per reproduced artifact of the paper's evaluation.
+//!
+//! Every experiment returns a serializable result struct with a
+//! `render()` method producing the human-readable table/series the
+//! bench binaries print and EXPERIMENTS.md quotes. The mapping to
+//! paper figures is in DESIGN.md §4:
+//!
+//! | module | artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — vote time series of front-page stories |
+//! | [`fig2`] | Fig. 2(a,b) — vote histogram, user-activity histogram |
+//! | [`fig3`] | Fig. 3(a,b) — story influence, cascade sizes |
+//! | [`fig4`] | Fig. 4 — in-network votes vs final votes |
+//! | [`fig5`] | Fig. 5 — the C4.5 tree + 10-fold CV |
+//! | [`prediction`] | §5.2 — the 48-story holdout & promoter comparison |
+//! | [`scatter`] | final (unnumbered) figure — friends+1 vs fans+1 |
+//! | [`intext`] | §3 in-text statistics |
+//! | [`decay`] | §2 related work — Wu & Huberman's post-promotion decay |
+
+pub mod decay;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod intext;
+pub mod prediction;
+pub mod scatter;

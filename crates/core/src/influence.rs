@@ -1,0 +1,131 @@
+//! Story influence — Friends-interface visibility (paper §4.1).
+//!
+//! "A story's influence is given by the number of users who can see it
+//! through the Friends interface": the union of the fans of the
+//! submitter and of everyone who has voted so far. Fig. 3(a) plots its
+//! histogram at submission, after 10 votes and after 20 votes.
+
+use social_graph::{SocialGraph, UserId};
+use std::collections::HashSet;
+
+/// Number of users who can see the story through the Friends
+/// interface after the first `k` voters (`k = 1` means just the
+/// submitter). The voters so far are excluded from the count — the
+/// interface notifies *other* users (a fan who votes later still
+/// counts as audience at this point).
+///
+/// `k` is clamped to the voter-list length.
+pub fn influence_after(graph: &SocialGraph, voters: &[UserId], k: usize) -> usize {
+    let k = k.min(voters.len());
+    let mut audience: HashSet<UserId> = HashSet::new();
+    for &v in &voters[..k] {
+        audience.extend(graph.fans(v).iter().copied());
+    }
+    for &v in &voters[..k] {
+        audience.remove(&v);
+    }
+    audience.len()
+}
+
+/// Influence at submission (fans of the submitter only — the paper's
+/// `fans1`, minus any fans who later voted; use
+/// [`SocialGraph::fan_count`] for raw `fans1`).
+pub fn influence_at_submission(graph: &SocialGraph, voters: &[UserId]) -> usize {
+    influence_after(graph, voters, 1)
+}
+
+/// Influence trajectory: the value after each successive voter
+/// (index `k` = after `k + 1` voters). Equals
+/// [`influence_after`] at each prefix, computed incrementally.
+pub fn influence_trajectory(graph: &SocialGraph, voters: &[UserId]) -> Vec<usize> {
+    let mut voted: HashSet<UserId> = HashSet::new();
+    let mut audience: HashSet<UserId> = HashSet::new();
+    let mut out = Vec::with_capacity(voters.len());
+    for &v in voters {
+        voted.insert(v);
+        audience.remove(&v);
+        for &f in graph.fans(v) {
+            if !voted.contains(&f) {
+                audience.insert(f);
+            }
+        }
+        out.push(audience.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social_graph::GraphBuilder;
+
+    /// Fans: 0 <- {1, 2, 3}; 4 <- {5, 6}; 1 <- {2}.
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(7);
+        for f in [1, 2, 3] {
+            b.add_watch(UserId(f), UserId(0));
+        }
+        for f in [5, 6] {
+            b.add_watch(UserId(f), UserId(4));
+        }
+        b.add_watch(UserId(2), UserId(1));
+        b.build()
+    }
+
+    #[test]
+    fn influence_at_submission_counts_nonvoting_fans() {
+        let g = graph();
+        // Submitter 0 has fans {1,2,3}; none have voted.
+        assert_eq!(influence_at_submission(&g, &[UserId(0)]), 3);
+        // Before fan 1 votes, they are still audience…
+        assert_eq!(influence_after(&g, &[UserId(0), UserId(1)], 1), 3);
+        // …after voting they leave it (and contribute their fan 2,
+        // already present).
+        assert_eq!(influence_after(&g, &[UserId(0), UserId(1)], 2), 2);
+    }
+
+    #[test]
+    fn influence_unions_voter_fandoms() {
+        let g = graph();
+        let voters = [UserId(0), UserId(4)];
+        // Fans of 0: {1,2,3}; fans of 4: {5,6}; no voters among them.
+        assert_eq!(influence_after(&g, &voters, 2), 5);
+    }
+
+    #[test]
+    fn overlapping_fandoms_count_once() {
+        let g = graph();
+        // Voters 0 and 1: fans {1,2,3} U {2} minus voter 1 = {2,3}.
+        let voters = [UserId(0), UserId(1)];
+        assert_eq!(influence_after(&g, &voters, 2), 2);
+    }
+
+    #[test]
+    fn k_clamps_to_list_length() {
+        let g = graph();
+        let voters = [UserId(0)];
+        assert_eq!(influence_after(&g, &voters, 10), influence_after(&g, &voters, 1));
+        assert_eq!(influence_after(&g, &[], 5), 0);
+    }
+
+    #[test]
+    fn trajectory_matches_pointwise() {
+        let g = graph();
+        // Includes a fan (1) voting mid-stream, which shrinks the
+        // audience — trajectories are not monotone in general.
+        let voters = [UserId(0), UserId(1), UserId(4)];
+        let traj = influence_trajectory(&g, &voters);
+        assert_eq!(traj.len(), 3);
+        for (k, &v) in traj.iter().enumerate() {
+            assert_eq!(v, influence_after(&g, &voters, k + 1), "at k={k}");
+        }
+        // Step 2: fan 1 voted, audience {2,3}; step 3 adds fans of 4.
+        assert_eq!(traj, vec![3, 2, 4]);
+    }
+
+    #[test]
+    fn isolated_submitter_has_zero_influence() {
+        let g = graph();
+        assert_eq!(influence_at_submission(&g, &[UserId(6)]), 0);
+    }
+}

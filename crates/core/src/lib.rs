@@ -1,0 +1,55 @@
+//! # digg-core
+//!
+//! The paper's contribution, as a library: analysis of social voting
+//! patterns and early prediction of story interestingness from where
+//! the initial votes come from (Lerman & Galstyan, WOSN'08).
+//!
+//! Central definitions (paper §4.1):
+//!
+//! * a vote is **in-network** when the voter is a fan of the submitter
+//!   or of any previous voter — the story could have reached them
+//!   through the Friends interface;
+//! * a story's **cascade** (size) after `n` votes is the number of
+//!   in-network votes among the first `n` votes not counting the
+//!   submitter;
+//! * a story's **influence** is the number of users who can see it
+//!   through the Friends interface — the union of the fans of
+//!   everyone who has voted so far.
+//!
+//! And the headline result (§5): the early cascade anticorrelates with
+//! final popularity. Stories that spread mainly *through* the
+//! submitter's neighbourhood stall once they face the general
+//! audience; stories recruited from outside it keep growing. A C4.5
+//! tree over `(v10, fans1)` predicts "interesting" (> 520 final votes)
+//! after only ten votes, beating the platform's own promotion
+//! decision on precision.
+//!
+//! Modules:
+//!
+//! * [`cascade`] — in-network vote analysis.
+//! * [`influence`] — Friends-interface visibility.
+//! * [`features`] — `(v6, v10, v20, fans1)` extraction, dataset
+//!   assembly for the learner.
+//! * [`spread`] — two-mechanism spread diagnostics (interest-based vs
+//!   network-based).
+//! * [`predictor`] — the trained predictor plus the paper's published
+//!   Fig. 5 rule.
+//! * [`pipeline`] — train-and-holdout evaluation (§5.2), including
+//!   the comparison against the promoter.
+//! * [`experiments`] — one module per paper figure / in-text
+//!   statistic, producing printable, serializable results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod experiments;
+pub mod features;
+pub mod influence;
+pub mod pipeline;
+pub mod predictor;
+pub mod spread;
+
+pub use cascade::{in_network_count_within, in_network_flags};
+pub use features::{StoryFeatures, INTERESTINGNESS_THRESHOLD};
+pub use predictor::InterestingnessPredictor;

@@ -1,0 +1,146 @@
+//! Property-based tests for the cascade/influence analysis: the fast
+//! implementations must agree with brute-force reference versions on
+//! arbitrary graphs and voter lists.
+
+use proptest::prelude::*;
+use social_graph::{GraphBuilder, SocialGraph, UserId};
+use std::collections::HashSet;
+
+const N: u32 = 24;
+
+fn graph_strategy() -> impl Strategy<Value = SocialGraph> {
+    prop::collection::vec((0u32..N, 0u32..N), 0..150).prop_map(|edges| {
+        let mut b = GraphBuilder::new(N as usize);
+        for (a, c) in edges {
+            b.add_watch(UserId(a), UserId(c));
+        }
+        b.build()
+    })
+}
+
+/// Distinct voter lists (submitter first).
+fn voters_strategy() -> impl Strategy<Value = Vec<UserId>> {
+    prop::collection::vec(0u32..N, 1..20).prop_map(|raw| {
+        let mut seen = HashSet::new();
+        raw.into_iter()
+            .filter(|u| seen.insert(*u))
+            .map(UserId)
+            .collect()
+    })
+}
+
+/// Brute-force in-network flag: is voter k a fan of any prior voter?
+fn brute_in_network(g: &SocialGraph, voters: &[UserId]) -> Vec<bool> {
+    (1..voters.len())
+        .map(|k| {
+            voters[..k]
+                .iter()
+                .any(|&prior| g.fans(prior).contains(&voters[k]))
+        })
+        .collect()
+}
+
+/// Brute-force influence: users (not yet voters) who are fans of any
+/// of the first k voters.
+fn brute_influence(g: &SocialGraph, voters: &[UserId], k: usize) -> usize {
+    let k = k.min(voters.len());
+    let voted: HashSet<UserId> = voters[..k].iter().copied().collect();
+    let mut audience = HashSet::new();
+    for u in g.users() {
+        if voted.contains(&u) {
+            continue;
+        }
+        if voters[..k].iter().any(|&v| g.watches(u, v)) {
+            audience.insert(u);
+        }
+    }
+    audience.len()
+}
+
+proptest! {
+    #[test]
+    fn in_network_flags_match_brute_force(g in graph_strategy(), voters in voters_strategy()) {
+        let fast = digg_core::cascade::in_network_flags(&g, &voters);
+        let brute = brute_in_network(&g, &voters);
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn counts_are_prefix_sums_of_flags(g in graph_strategy(), voters in voters_strategy(), n in 0usize..25) {
+        let flags = digg_core::cascade::in_network_flags(&g, &voters);
+        let expected = flags.iter().take(n).filter(|&&f| f).count();
+        prop_assert_eq!(
+            digg_core::cascade::in_network_count_within(&g, &voters, n),
+            expected
+        );
+    }
+
+    #[test]
+    fn cumulative_cascade_is_monotone_prefix(g in graph_strategy(), voters in voters_strategy()) {
+        let cum = digg_core::cascade::cumulative_cascade(&g, &voters);
+        prop_assert_eq!(cum.len(), voters.len().saturating_sub(1));
+        prop_assert!(cum.windows(2).all(|w| w[0] <= w[1] && w[1] <= w[0] + 1));
+        if let Some(&last) = cum.last() {
+            prop_assert_eq!(
+                last,
+                digg_core::cascade::in_network_count_within(&g, &voters, usize::MAX)
+            );
+        }
+    }
+
+    #[test]
+    fn influence_matches_brute_force(g in graph_strategy(), voters in voters_strategy(), k in 0usize..25) {
+        prop_assert_eq!(
+            digg_core::influence::influence_after(&g, &voters, k),
+            brute_influence(&g, &voters, k)
+        );
+    }
+
+    #[test]
+    fn influence_trajectory_matches_pointwise(g in graph_strategy(), voters in voters_strategy()) {
+        let traj = digg_core::influence::influence_trajectory(&g, &voters);
+        prop_assert_eq!(traj.len(), voters.len());
+        for (k, &v) in traj.iter().enumerate() {
+            prop_assert_eq!(v, brute_influence(&g, &voters, k + 1), "at k={}", k);
+        }
+    }
+
+    #[test]
+    fn influence_bounded_by_total_fans(g in graph_strategy(), voters in voters_strategy()) {
+        let total_fans: usize = voters.iter().map(|&v| g.fan_count(v)).sum();
+        let inf = digg_core::influence::influence_after(&g, &voters, voters.len());
+        prop_assert!(inf <= total_fans);
+        prop_assert!(inf <= g.user_count());
+    }
+
+    #[test]
+    fn spread_profile_is_consistent(g in graph_strategy(), voters in voters_strategy(), w in 1usize..15) {
+        let p = digg_core::spread::profile(&g, &voters, w);
+        prop_assert_eq!(p.in_network + p.independent_seeds, p.votes);
+        prop_assert!(p.votes <= w);
+        prop_assert!(p.longest_network_run <= p.in_network);
+        prop_assert!((0.0..=1.0).contains(&p.network_fraction()));
+    }
+
+    #[test]
+    fn fig5_rule_is_total_and_matches_thresholds(v10 in 0usize..30, fans1 in 0usize..2000) {
+        let p = digg_core::predictor::fig5_predictor();
+        let f = digg_core::features::StoryFeatures {
+            v6: 0,
+            v10,
+            v20: 0,
+            fans1,
+            scraped_votes: 11,
+        };
+        let predicted = p.predict_features(&f);
+        // Replicate the published rule directly.
+        let expected = if v10 <= 4 {
+            true
+        } else if v10 > 8 {
+            false
+        } else {
+            fans1 > 85
+        };
+        prop_assert_eq!(predicted, expected);
+    }
+}

@@ -1,0 +1,172 @@
+//! Dataset serialization.
+//!
+//! Datasets round-trip through JSON (the workspace's interchange
+//! format; see DESIGN.md §5 for the dependency justification). The
+//! bench binaries use this to generate a dataset once and share it
+//! across experiments.
+
+use crate::model::DiggDataset;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from dataset IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "dataset io error: {e}"),
+            IoError::Json(e) => write!(f, "dataset json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> IoError {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> IoError {
+        IoError::Json(e)
+    }
+}
+
+/// Serialize a dataset to a JSON string.
+pub fn to_json(ds: &DiggDataset) -> Result<String, IoError> {
+    Ok(serde_json::to_string(ds)?)
+}
+
+/// Deserialize a dataset from JSON.
+pub fn from_json(json: &str) -> Result<DiggDataset, IoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Write a dataset to a file.
+pub fn save(ds: &DiggDataset, path: &Path) -> Result<(), IoError> {
+    fs::write(path, to_json(ds)?)?;
+    Ok(())
+}
+
+/// Read a dataset from a file.
+pub fn load(path: &Path) -> Result<DiggDataset, IoError> {
+    from_json(&fs::read_to_string(path)?)
+}
+
+/// Export the per-story summary as CSV (one row per record):
+/// `story,source,submitter,submitted_at,scraped_votes,final_votes`.
+pub fn to_csv(ds: &DiggDataset) -> String {
+    let mut out =
+        String::from("story,source,submitter,submitted_at,scraped_votes,final_votes\n");
+    for r in ds.all_records() {
+        let source = match r.source {
+            crate::model::SampleSource::FrontPage => "front_page",
+            crate::model::SampleSource::Upcoming => "upcoming",
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.story.0,
+            source,
+            r.submitter.0,
+            r.submitted_at.0,
+            r.voters.len(),
+            r.final_votes.map(|v| v.to_string()).unwrap_or_default(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SampleSource, StoryRecord};
+    use digg_sim::{Minute, StoryId};
+    use social_graph::{SocialGraph, UserId};
+
+    fn ds() -> DiggDataset {
+        DiggDataset {
+            scraped_at: Minute(500),
+            front_page: vec![StoryRecord {
+                story: StoryId(3),
+                submitter: UserId(1),
+                submitted_at: Minute(100),
+                voters: vec![UserId(1), UserId(2)],
+                source: SampleSource::FrontPage,
+                final_votes: Some(700),
+            }],
+            upcoming: vec![StoryRecord {
+                story: StoryId(9),
+                submitter: UserId(4),
+                submitted_at: Minute(480),
+                voters: vec![UserId(4)],
+                source: SampleSource::Upcoming,
+                final_votes: None,
+            }],
+            network: SocialGraph::empty(5),
+            top_users: vec![UserId(1)],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = ds();
+        let json = to_json(&d).unwrap();
+        let d2 = from_json(&json).unwrap();
+        assert_eq!(d.front_page, d2.front_page);
+        assert_eq!(d.upcoming, d2.upcoming);
+        assert_eq!(d.scraped_at, d2.scraped_at);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = ds();
+        let dir = std::env::temp_dir().join("digg-data-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save(&d, &path).unwrap();
+        let d2 = load(&path).unwrap();
+        assert_eq!(d.front_page, d2.front_page);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load(Path::new("/nonexistent/nope.json")).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn bad_json_is_json_error() {
+        let err = from_json("{not json").unwrap_err();
+        assert!(matches!(err, IoError::Json(_)));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&ds());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("story,"));
+        assert!(lines[1].contains("front_page"));
+        assert!(lines[1].ends_with("700"));
+        assert!(lines[2].ends_with(",")); // missing final votes
+    }
+}

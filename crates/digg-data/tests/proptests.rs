@@ -1,0 +1,120 @@
+//! Property-based tests for the dataset layer: the validator accepts
+//! exactly the structurally sound datasets, and serialization is
+//! total.
+
+use digg_data::model::{DiggDataset, SampleSource, StoryRecord};
+use digg_data::validate;
+use digg_sim::{Minute, StoryId};
+use proptest::prelude::*;
+use social_graph::{SocialGraph, UserId};
+
+const N: u32 = 40;
+const THRESHOLD: usize = 5;
+
+/// A structurally valid record for the given source.
+fn record_strategy(source: SampleSource) -> impl Strategy<Value = StoryRecord> {
+    let votes_range = match source {
+        SampleSource::FrontPage => THRESHOLD..20usize,
+        SampleSource::Upcoming => 1..THRESHOLD,
+    };
+    (
+        any::<u32>(),
+        prop::collection::btree_set(0u32..N, votes_range),
+        0u32..500,
+        any::<bool>(),
+    )
+        .prop_map(move |(id, raw, extra_votes, augmented)| {
+            let voters: Vec<UserId> = raw.into_iter().map(UserId).collect();
+            let final_votes = augmented.then(|| voters.len() as u32 + extra_votes);
+            StoryRecord {
+                story: StoryId(id),
+                submitter: voters[0],
+                submitted_at: Minute(0),
+                voters,
+                source,
+                final_votes,
+            }
+        })
+}
+
+fn dataset_strategy() -> impl Strategy<Value = DiggDataset> {
+    (
+        prop::collection::vec(record_strategy(SampleSource::FrontPage), 0..10),
+        prop::collection::vec(record_strategy(SampleSource::Upcoming), 0..10),
+    )
+        .prop_map(|(front_page, upcoming)| DiggDataset {
+            scraped_at: Minute(1000),
+            front_page,
+            upcoming,
+            network: SocialGraph::empty(N as usize),
+            top_users: vec![],
+        })
+}
+
+proptest! {
+    #[test]
+    fn valid_datasets_pass_validation(ds in dataset_strategy()) {
+        // Front-page records have >= THRESHOLD voters by construction;
+        // upcoming records fewer; voters deduplicated; finals >=
+        // scraped. The validator must accept all of them.
+        let violations = validate::validate(&ds, THRESHOLD);
+        prop_assert!(violations.is_empty(), "spurious violations: {violations:?}");
+    }
+
+    #[test]
+    fn corrupting_a_record_is_detected(ds in dataset_strategy(), which in 0usize..4) {
+        let mut ds = ds;
+        let Some(r) = ds.front_page.first_mut() else { return Ok(()); };
+        let expected_rule = match which {
+            0 => {
+                r.voters.truncate(THRESHOLD - 1); // below boundary
+                "promotion-boundary-fp"
+            }
+            1 => {
+                r.submitter = UserId(N + 1); // not first voter
+                "submitter-first"
+            }
+            2 => {
+                let dup = r.voters[0];
+                r.voters.push(dup); // duplicate voter
+                "no-duplicate-voters"
+            }
+            _ => {
+                r.final_votes = Some(0); // final below scraped
+                "final-not-below-scraped"
+            }
+        };
+        let violations = validate::validate(&ds, THRESHOLD);
+        prop_assert!(
+            violations.iter().any(|v| v.rule == expected_rule),
+            "expected {expected_rule}, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless(ds in dataset_strategy()) {
+        let json = digg_data::io::to_json(&ds).unwrap();
+        let back = digg_data::io::from_json(&json).unwrap();
+        prop_assert_eq!(ds.front_page, back.front_page);
+        prop_assert_eq!(ds.upcoming, back.upcoming);
+        prop_assert_eq!(ds.scraped_at, back.scraped_at);
+    }
+
+    #[test]
+    fn csv_row_count_matches_records(ds in dataset_strategy()) {
+        let csv = digg_data::io::to_csv(&ds);
+        let rows = csv.lines().count();
+        prop_assert_eq!(rows, 1 + ds.front_page.len() + ds.upcoming.len());
+    }
+
+    #[test]
+    fn stats_fractions_are_probabilities(ds in dataset_strategy()) {
+        let s = validate::stats(&ds);
+        prop_assert!((0.0..=1.0).contains(&s.fp_below_500));
+        prop_assert!((0.0..=1.0).contains(&s.fp_above_1500));
+        prop_assert!((0.0..=1.0).contains(&s.fp_poorly_connected_submitters));
+        prop_assert_eq!(s.front_page_stories, ds.front_page.len());
+        prop_assert_eq!(s.upcoming_stories, ds.upcoming.len());
+        prop_assert!(s.distinct_voters <= N as usize);
+    }
+}

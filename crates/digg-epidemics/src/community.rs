@@ -1,0 +1,179 @@
+//! Community structure: modularity and label propagation (paper refs
+//! [6, 15]: Girvan–Newman, Newman).
+//!
+//! Used to (a) verify that [`social_graph::generators::modular`]
+//! plants detectable structure, and (b) explore whether the simulated
+//! Digg fan graph exhibits the "well-defined community structure" the
+//! future-work section speculates about.
+
+use rand::Rng;
+use social_graph::{SocialGraph, UserId};
+
+/// Newman's modularity `Q` of a partition (labels per node), computed
+/// on the undirected projection of the watch graph: each directed
+/// edge contributes once.
+///
+/// `Q = Σ_c (e_c / m - (d_c / 2m)^2)` with `e_c` intra-community
+/// edges, `d_c` total (projected) degree of community `c`, `m` total
+/// edges. Returns 0 for an edgeless graph.
+pub fn modularity(graph: &SocialGraph, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), graph.user_count(), "label per node required");
+    let m = graph.edge_count() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    use std::collections::HashMap;
+    let mut intra: HashMap<u32, f64> = HashMap::new();
+    let mut degree: HashMap<u32, f64> = HashMap::new();
+    for (a, b) in graph.edges() {
+        let la = labels[a.index()];
+        let lb = labels[b.index()];
+        if la == lb {
+            *intra.entry(la).or_insert(0.0) += 1.0;
+        }
+        *degree.entry(la).or_insert(0.0) += 1.0;
+        *degree.entry(lb).or_insert(0.0) += 1.0;
+    }
+    let mut q = 0.0;
+    for (c, d) in &degree {
+        let e = intra.get(c).copied().unwrap_or(0.0);
+        q += e / m - (d / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+/// Asynchronous label propagation on the undirected projection.
+/// Each node repeatedly adopts the most common label among its
+/// neighbours (ties broken by the smallest label for determinism,
+/// after a seeded shuffle of the visit order). Returns labels per
+/// node, relabelled to dense ids.
+pub fn label_propagation<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &SocialGraph,
+    max_rounds: usize,
+) -> Vec<u32> {
+    let n = graph.user_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    for round in 0..max_rounds {
+        // Fisher-Yates with the caller's RNG.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut changed = false;
+        for &u in &order {
+            let uid = UserId::from_index(u);
+            let mut counts: std::collections::HashMap<u32, usize> = Default::default();
+            for &v in graph.friends(uid).iter().chain(graph.fans(uid)) {
+                *counts.entry(labels[v.index()]).or_insert(0) += 1;
+            }
+            if counts.is_empty() {
+                continue;
+            }
+            let best = counts
+                .iter()
+                .max_by_key(|&(label, count)| (*count, std::cmp::Reverse(*label)))
+                .map(|(&l, _)| l)
+                .expect("nonempty counts");
+            if best != labels[u] {
+                labels[u] = best;
+                changed = true;
+            }
+        }
+        if !changed && round > 0 {
+            break;
+        }
+    }
+    // Dense relabel.
+    let mut map: std::collections::HashMap<u32, u32> = Default::default();
+    let mut next = 0u32;
+    labels
+        .into_iter()
+        .map(|l| {
+            *map.entry(l).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+/// Number of distinct labels.
+pub fn community_count(labels: &[u32]) -> usize {
+    let mut set: Vec<u32> = labels.to_vec();
+    set.sort_unstable();
+    set.dedup();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use social_graph::generators::{community_of, modular};
+    use social_graph::GraphBuilder;
+
+    #[test]
+    fn modularity_of_perfect_partition_is_high() {
+        // Two disconnected triangles (directed cycles).
+        let mut b = GraphBuilder::new(6);
+        for (x, y) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_watch(UserId(x), UserId(y));
+        }
+        let g = b.build();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let q = modularity(&g, &labels);
+        assert!((q - 0.5).abs() < 1e-9, "q = {q}");
+        // The merged partition scores 0.
+        let merged = vec![0; 6];
+        assert!(modularity(&g, &merged).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modularity_penalises_wrong_split() {
+        let mut b = GraphBuilder::new(6);
+        for (x, y) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_watch(UserId(x), UserId(y));
+        }
+        let g = b.build();
+        let wrong = vec![0, 1, 0, 1, 0, 1];
+        assert!(modularity(&g, &wrong) < 0.1);
+    }
+
+    #[test]
+    fn label_propagation_recovers_planted_blocks() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 150;
+        let k = 3;
+        let g = modular(&mut rng, n, k, 0.3, 0.005);
+        let labels = label_propagation(&mut rng, &g, 30);
+        // The recovered partition should score close to the planted
+        // one's modularity.
+        let planted: Vec<u32> = (0..n).map(|u| community_of(u, n, k) as u32).collect();
+        let q_planted = modularity(&g, &planted);
+        let q_found = modularity(&g, &labels);
+        assert!(
+            q_found > 0.5 * q_planted,
+            "found Q {q_found} vs planted {q_planted}"
+        );
+        let c = community_count(&labels);
+        assert!((2..=10).contains(&c), "found {c} communities");
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_own_label() {
+        let g = GraphBuilder::new(4).build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let labels = label_propagation(&mut rng, &g, 5);
+        assert_eq!(community_count(&labels), 4);
+    }
+
+    #[test]
+    fn empty_graph_modularity_zero() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(modularity(&g, &[0, 0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Discrete-time SIR on a social graph.
+//!
+//! Infection travels from a user to its **fans** (the direction story
+//! visibility travels on Digg): each time step, every infectious user
+//! independently infects each susceptible fan with probability `beta`,
+//! then recovers with probability `gamma`.
+
+use rand::Rng;
+use social_graph::{SocialGraph, UserId};
+
+/// Compartment of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Never infected.
+    Susceptible,
+    /// Currently infectious.
+    Infectious,
+    /// Recovered (immune).
+    Recovered,
+}
+
+/// Result of one SIR run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SirOutcome {
+    /// Users ever infected (final outbreak size), including seeds.
+    pub total_infected: usize,
+    /// Steps until no infectious users remained.
+    pub duration: usize,
+    /// New infections per step (epidemic curve).
+    pub incidence: Vec<usize>,
+}
+
+impl SirOutcome {
+    /// Outbreak size as a fraction of the population.
+    pub fn attack_rate(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_infected as f64 / n as f64
+    }
+}
+
+/// Which contacts transmit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spread {
+    /// Along reversed watch edges only: a user infects its fans (how
+    /// story visibility actually travels on Digg).
+    Fans,
+    /// Along the undirected projection (fans and friends) — the
+    /// classical epidemics-on-networks setting of refs [16, 17].
+    Undirected,
+}
+
+/// Run SIR from the given seeds, spreading to fans only.
+///
+/// # Examples
+///
+/// ```
+/// use digg_epidemics::sir;
+/// use social_graph::{generators, UserId};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = generators::erdos_renyi(&mut rng, 200, 0.05);
+/// let out = sir::run(&mut rng, &g, &[UserId(0)], 0.5, 0.5, 1000);
+/// assert!(out.total_infected >= 1);
+/// assert!(out.attack_rate(200) <= 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `beta` or `gamma` is outside `[0, 1]`.
+pub fn run<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &SocialGraph,
+    seeds: &[UserId],
+    beta: f64,
+    gamma: f64,
+    max_steps: usize,
+) -> SirOutcome {
+    run_with(rng, graph, seeds, beta, gamma, max_steps, Spread::Fans)
+}
+
+/// Run SIR with an explicit [`Spread`] mode.
+///
+/// # Panics
+///
+/// Panics if `beta` or `gamma` is outside `[0, 1]`.
+pub fn run_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &SocialGraph,
+    seeds: &[UserId],
+    beta: f64,
+    gamma: f64,
+    max_steps: usize,
+    spread: Spread,
+) -> SirOutcome {
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be a probability");
+    let n = graph.user_count();
+    let mut state = vec![State::Susceptible; n];
+    let mut infectious: Vec<UserId> = Vec::new();
+    for &s in seeds {
+        if state[s.index()] == State::Susceptible {
+            state[s.index()] = State::Infectious;
+            infectious.push(s);
+        }
+    }
+    let mut total = infectious.len();
+    let mut incidence = Vec::new();
+    let mut steps = 0usize;
+    while !infectious.is_empty() && steps < max_steps {
+        steps += 1;
+        let mut newly: Vec<UserId> = Vec::new();
+        let try_infect =
+            |f: UserId, state: &mut Vec<State>, newly: &mut Vec<UserId>, rng: &mut R| {
+                if state[f.index()] == State::Susceptible && rng.random::<f64>() < beta {
+                    state[f.index()] = State::Infectious;
+                    newly.push(f);
+                }
+            };
+        for &u in &infectious {
+            for &f in graph.fans(u) {
+                try_infect(f, &mut state, &mut newly, rng);
+            }
+            if spread == Spread::Undirected {
+                for &f in graph.friends(u) {
+                    try_infect(f, &mut state, &mut newly, rng);
+                }
+            }
+        }
+        // Recoveries happen after transmission within the step.
+        infectious.retain(|&u| {
+            if rng.random::<f64>() < gamma {
+                state[u.index()] = State::Recovered;
+                false
+            } else {
+                true
+            }
+        });
+        total += newly.len();
+        incidence.push(newly.len());
+        infectious.extend(newly);
+    }
+    SirOutcome {
+        total_infected: total,
+        duration: steps,
+        incidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use social_graph::generators::erdos_renyi;
+    use social_graph::GraphBuilder;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn zero_beta_never_spreads() {
+        let mut r = rng();
+        let g = erdos_renyi(&mut r, 200, 0.05);
+        let out = run(&mut r, &g, &[UserId(0)], 0.0, 0.5, 100);
+        assert_eq!(out.total_infected, 1);
+    }
+
+    #[test]
+    fn full_beta_floods_a_connected_chain() {
+        // 0 -> 1 -> 2 in the fan direction (1 is a fan of 0 etc.).
+        let mut b = GraphBuilder::new(3);
+        b.add_watch(UserId(1), UserId(0));
+        b.add_watch(UserId(2), UserId(1));
+        let g = b.build();
+        let mut r = rng();
+        let out = run(&mut r, &g, &[UserId(0)], 1.0, 1.0, 100);
+        assert_eq!(out.total_infected, 3);
+        // One hop per step: infections at steps 1 and 2.
+        assert_eq!(&out.incidence[..2], &[1, 1]);
+    }
+
+    #[test]
+    fn gamma_one_forces_single_generation() {
+        let mut r = rng();
+        let g = erdos_renyi(&mut r, 300, 0.02);
+        let out = run(&mut r, &g, &[UserId(0)], 1.0, 1.0, 100);
+        // Everyone infected is reachable within `duration` hops; with
+        // gamma=1 each node transmits exactly once.
+        assert!(out.duration <= 100);
+        assert!(out.total_infected >= 1);
+    }
+
+    #[test]
+    fn high_beta_on_dense_graph_reaches_most_nodes() {
+        let mut r = rng();
+        let g = erdos_renyi(&mut r, 300, 0.03);
+        let out = run(&mut r, &g, &[UserId(0)], 0.9, 0.3, 1000);
+        assert!(
+            out.attack_rate(300) > 0.5,
+            "attack rate {}",
+            out.attack_rate(300)
+        );
+    }
+
+    #[test]
+    fn duplicate_and_empty_seeds() {
+        let mut r = rng();
+        let g = erdos_renyi(&mut r, 50, 0.05);
+        let out = run(&mut r, &g, &[], 0.5, 0.5, 100);
+        assert_eq!(out.total_infected, 0);
+        assert_eq!(out.duration, 0);
+        let out = run(&mut r, &g, &[UserId(1), UserId(1)], 0.0, 1.0, 100);
+        assert_eq!(out.total_infected, 1);
+    }
+
+    #[test]
+    fn attack_rate_handles_zero_population() {
+        let out = SirOutcome {
+            total_infected: 0,
+            duration: 0,
+            incidence: vec![],
+        };
+        assert_eq!(out.attack_rate(0), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Discrete-time SIS on a social graph.
+//!
+//! Like [`crate::sir`] but recovered nodes return to the susceptible
+//! pool, so an above-threshold infection persists at an endemic
+//! prevalence — the setting of Pastor-Satorras & Vespignani's
+//! vanishing-threshold result on scale-free networks (paper refs
+//! [16, 17]).
+
+use rand::Rng;
+use social_graph::{SocialGraph, UserId};
+
+/// Result of an SIS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SisOutcome {
+    /// Infectious-node count after each step.
+    pub prevalence: Vec<usize>,
+    /// Whether the infection was still alive at the end.
+    pub survived: bool,
+}
+
+impl SisOutcome {
+    /// Mean prevalence (as a fraction of `n`) over the last
+    /// `tail` steps — the endemic-state estimator. Returns 0 for
+    /// empty runs.
+    pub fn endemic_prevalence(&self, n: usize, tail: usize) -> f64 {
+        if self.prevalence.is_empty() || n == 0 {
+            return 0.0;
+        }
+        let start = self.prevalence.len().saturating_sub(tail);
+        let window = &self.prevalence[start..];
+        let mean: f64 = window.iter().map(|&c| c as f64).sum::<f64>() / window.len() as f64;
+        mean / n as f64
+    }
+}
+
+/// Run SIS for `steps` steps: each infectious node infects each
+/// susceptible fan with probability `beta`, then recovers (back to
+/// susceptible) with probability `gamma`.
+///
+/// # Panics
+///
+/// Panics if `beta` or `gamma` is outside `[0, 1]`.
+pub fn run<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &SocialGraph,
+    seeds: &[UserId],
+    beta: f64,
+    gamma: f64,
+    steps: usize,
+) -> SisOutcome {
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be a probability");
+    let n = graph.user_count();
+    let mut infected = vec![false; n];
+    let mut current: Vec<UserId> = Vec::new();
+    for &s in seeds {
+        if !infected[s.index()] {
+            infected[s.index()] = true;
+            current.push(s);
+        }
+    }
+    let mut prevalence = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        if current.is_empty() {
+            prevalence.push(0);
+            continue;
+        }
+        let mut newly: Vec<UserId> = Vec::new();
+        for &u in &current {
+            for &f in graph.fans(u) {
+                if !infected[f.index()] && rng.random::<f64>() < beta {
+                    infected[f.index()] = true;
+                    newly.push(f);
+                }
+            }
+        }
+        current.retain(|&u| {
+            if rng.random::<f64>() < gamma {
+                infected[u.index()] = false;
+                false
+            } else {
+                true
+            }
+        });
+        current.extend(newly);
+        prevalence.push(current.len());
+    }
+    let survived = prevalence.last().map(|&c| c > 0).unwrap_or(false);
+    SisOutcome {
+        prevalence,
+        survived,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use social_graph::generators::erdos_renyi;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn zero_beta_dies_out() {
+        let mut r = rng();
+        let g = erdos_renyi(&mut r, 200, 0.05);
+        let out = run(&mut r, &g, &[UserId(0)], 0.0, 0.5, 200);
+        assert!(!out.survived);
+        assert_eq!(out.endemic_prevalence(200, 50), 0.0);
+    }
+
+    #[test]
+    fn strong_infection_persists_on_dense_graph() {
+        let mut r = rng();
+        let g = erdos_renyi(&mut r, 300, 0.05);
+        let out = run(&mut r, &g, &[UserId(0)], 0.6, 0.2, 300);
+        assert!(out.survived, "infection died unexpectedly");
+        assert!(
+            out.endemic_prevalence(300, 100) > 0.3,
+            "prevalence {}",
+            out.endemic_prevalence(300, 100)
+        );
+    }
+
+    #[test]
+    fn prevalence_trace_has_one_entry_per_step() {
+        let mut r = rng();
+        let g = erdos_renyi(&mut r, 100, 0.05);
+        let out = run(&mut r, &g, &[UserId(0)], 0.3, 0.3, 123);
+        assert_eq!(out.prevalence.len(), 123);
+    }
+
+    #[test]
+    fn empty_seed_run_is_flat_zero() {
+        let mut r = rng();
+        let g = erdos_renyi(&mut r, 50, 0.05);
+        let out = run(&mut r, &g, &[], 0.9, 0.1, 10);
+        assert!(out.prevalence.iter().all(|&c| c == 0));
+        assert!(!out.survived);
+    }
+}

@@ -1,0 +1,379 @@
+//! Baseline classifiers.
+//!
+//! Four baselines bracket the decision tree:
+//!
+//! * [`MajorityClass`] — the floor any learner must beat;
+//! * [`OneR`] — the best single-attribute threshold rule (Holte's 1R),
+//!   a sanity check that the tree's extra structure earns its keep;
+//! * [`GaussianNb`] — a probabilistic baseline that ignores feature
+//!   interactions;
+//! * [`FixedRule`] — an arbitrary user-supplied predicate; the §5.2
+//!   comparison uses it to wrap "Digg promoted this story" as a
+//!   classifier.
+
+use crate::data::MlDataset;
+use crate::metrics::ConfusionMatrix;
+
+/// A trained binary classifier over attribute vectors.
+pub trait Classifier {
+    /// Predict the class for one attribute vector.
+    fn predict(&self, values: &[f64]) -> bool;
+
+    /// Evaluate against a labelled dataset.
+    fn evaluate(&self, ds: &MlDataset) -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::default();
+        for inst in ds.instances() {
+            cm.record(self.predict(&inst.values), inst.label);
+        }
+        cm
+    }
+}
+
+impl Classifier for crate::tree::DecisionTree {
+    fn predict(&self, values: &[f64]) -> bool {
+        crate::tree::DecisionTree::predict(self, values)
+    }
+}
+
+/// Always predicts the majority class of the training set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MajorityClass {
+    /// The class predicted for everything.
+    pub label: bool,
+}
+
+impl MajorityClass {
+    /// Fit on a dataset (ties -> positive).
+    pub fn fit(ds: &MlDataset) -> MajorityClass {
+        let pos = ds.positives();
+        MajorityClass {
+            label: pos * 2 >= ds.len(),
+        }
+    }
+}
+
+impl Classifier for MajorityClass {
+    fn predict(&self, _values: &[f64]) -> bool {
+        self.label
+    }
+}
+
+/// Holte's 1R for numeric attributes: the single
+/// `attr <= threshold` rule (with orientation) minimising training
+/// errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OneR {
+    /// Attribute index.
+    pub attr: usize,
+    /// Decision threshold.
+    pub threshold: f64,
+    /// Label predicted when `value <= threshold`.
+    pub le_label: bool,
+}
+
+impl OneR {
+    /// Fit by exhaustive search over midpoint thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(ds: &MlDataset) -> OneR {
+        assert!(!ds.is_empty(), "cannot fit 1R on empty data");
+        let n = ds.len();
+        let total_pos = ds.positives();
+        // Start from the majority rule (threshold +inf predicts the
+        // majority everywhere) so 1R never does worse than majority.
+        let majority = total_pos * 2 >= n;
+        let majority_errors = if majority { n - total_pos } else { total_pos };
+        let mut best = (
+            majority_errors,
+            OneR {
+                attr: 0,
+                threshold: f64::INFINITY,
+                le_label: majority,
+            },
+        );
+        for attr in 0..ds.attribute_count() {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                ds.instances()[a].values[attr]
+                    .partial_cmp(&ds.instances()[b].values[attr])
+                    .expect("no NaN")
+            });
+            let mut le_pos = 0usize;
+            for k in 0..n {
+                if ds.instances()[order[k]].label {
+                    le_pos += 1;
+                }
+                if k + 1 < n {
+                    let v = ds.instances()[order[k]].values[attr];
+                    let vn = ds.instances()[order[k + 1]].values[attr];
+                    if v == vn {
+                        continue;
+                    }
+                    let le_total = k + 1;
+                    let gt_pos = total_pos - le_pos;
+                    let gt_total = n - le_total;
+                    // Orientation A: le -> positive.
+                    let err_a = (le_total - le_pos) + gt_pos;
+                    // Orientation B: le -> negative.
+                    let err_b = le_pos + (gt_total - gt_pos);
+                    let threshold = (v + vn) / 2.0;
+                    if err_a < best.0 {
+                        best = (err_a, OneR { attr, threshold, le_label: true });
+                    }
+                    if err_b < best.0 {
+                        best = (err_b, OneR { attr, threshold, le_label: false });
+                    }
+                }
+            }
+        }
+        best.1
+    }
+}
+
+impl Classifier for OneR {
+    fn predict(&self, values: &[f64]) -> bool {
+        if values[self.attr] <= self.threshold {
+            self.le_label
+        } else {
+            !self.le_label
+        }
+    }
+}
+
+/// Gaussian naive Bayes: per class and attribute, fit a normal
+/// distribution; predict by maximum posterior with the training class
+/// prior. A stronger-than-1R probabilistic baseline that still ignores
+/// feature interactions — exactly what a decision tree should beat
+/// when thresholds interact (the Fig. 5 fans1-inside-v10-band
+/// structure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianNb {
+    /// Log prior of the positive class.
+    log_prior_pos: f64,
+    /// Log prior of the negative class.
+    log_prior_neg: f64,
+    /// Per-attribute `(mean, variance)` for the positive class.
+    pos: Vec<(f64, f64)>,
+    /// Per-attribute `(mean, variance)` for the negative class.
+    neg: Vec<(f64, f64)>,
+}
+
+impl GaussianNb {
+    /// Variance floor guarding against constant attributes.
+    const MIN_VAR: f64 = 1e-9;
+
+    /// Fit on a dataset. Returns `None` when either class is empty
+    /// (no likelihood can be formed).
+    pub fn fit(ds: &MlDataset) -> Option<GaussianNb> {
+        let n = ds.len();
+        let pos_n = ds.positives();
+        let neg_n = n - pos_n;
+        if pos_n == 0 || neg_n == 0 {
+            return None;
+        }
+        let arity = ds.attribute_count();
+        let fit_class = |label: bool| -> Vec<(f64, f64)> {
+            (0..arity)
+                .map(|a| {
+                    let vals: Vec<f64> = ds
+                        .instances()
+                        .iter()
+                        .filter(|i| i.label == label)
+                        .map(|i| i.values[a])
+                        .collect();
+                    let m = vals.iter().sum::<f64>() / vals.len() as f64;
+                    let v = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
+                        / vals.len() as f64;
+                    (m, v.max(Self::MIN_VAR))
+                })
+                .collect()
+        };
+        Some(GaussianNb {
+            log_prior_pos: (pos_n as f64 / n as f64).ln(),
+            log_prior_neg: (neg_n as f64 / n as f64).ln(),
+            pos: fit_class(true),
+            neg: fit_class(false),
+        })
+    }
+
+    fn log_likelihood(params: &[(f64, f64)], values: &[f64]) -> f64 {
+        params
+            .iter()
+            .zip(values)
+            .map(|(&(m, v), &x)| {
+                -0.5 * ((x - m) * (x - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln())
+            })
+            .sum()
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn predict(&self, values: &[f64]) -> bool {
+        let lp = self.log_prior_pos + Self::log_likelihood(&self.pos, values);
+        let ln = self.log_prior_neg + Self::log_likelihood(&self.neg, values);
+        lp >= ln
+    }
+}
+
+/// Wraps an arbitrary predicate as a classifier (e.g. "Digg promoted
+/// it").
+pub struct FixedRule<F: Fn(&[f64]) -> bool> {
+    rule: F,
+}
+
+impl<F: Fn(&[f64]) -> bool> FixedRule<F> {
+    /// Wrap a predicate.
+    pub fn new(rule: F) -> FixedRule<F> {
+        FixedRule { rule }
+    }
+}
+
+impl<F: Fn(&[f64]) -> bool> Classifier for FixedRule<F> {
+    fn predict(&self, values: &[f64]) -> bool {
+        (self.rule)(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Instance;
+
+    fn ds_from(rows: &[(&[f64], bool)]) -> MlDataset {
+        let arity = rows[0].0.len();
+        let names: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+        let mut ds = MlDataset::new(names);
+        for (vals, label) in rows {
+            ds.push(Instance::new(vals.to_vec(), *label));
+        }
+        ds
+    }
+
+    #[test]
+    fn majority_class_fit() {
+        let ds = ds_from(&[(&[0.0], true), (&[1.0], true), (&[2.0], false)]);
+        let m = MajorityClass::fit(&ds);
+        assert!(m.label);
+        let cm = m.evaluate(&ds);
+        assert_eq!(cm.correct(), 2);
+    }
+
+    #[test]
+    fn majority_tie_prefers_positive() {
+        let ds = ds_from(&[(&[0.0], true), (&[1.0], false)]);
+        assert!(MajorityClass::fit(&ds).label);
+    }
+
+    #[test]
+    fn one_r_finds_separating_threshold() {
+        let ds = ds_from(&[
+            (&[1.0], true),
+            (&[2.0], true),
+            (&[10.0], false),
+            (&[11.0], false),
+        ]);
+        let r = OneR::fit(&ds);
+        assert_eq!(r.attr, 0);
+        assert!(r.le_label);
+        assert!((2.0..=10.0).contains(&r.threshold));
+        assert_eq!(r.evaluate(&ds).errors(), 0);
+    }
+
+    #[test]
+    fn one_r_handles_inverted_orientation() {
+        let ds = ds_from(&[
+            (&[1.0], false),
+            (&[2.0], false),
+            (&[10.0], true),
+            (&[11.0], true),
+        ]);
+        let r = OneR::fit(&ds);
+        assert!(!r.le_label);
+        assert_eq!(r.evaluate(&ds).errors(), 0);
+    }
+
+    #[test]
+    fn one_r_picks_better_attribute() {
+        // Attribute 1 separates; attribute 0 is constant.
+        let ds = ds_from(&[
+            (&[5.0, 1.0], true),
+            (&[5.0, 2.0], true),
+            (&[5.0, 9.0], false),
+        ]);
+        let r = OneR::fit(&ds);
+        assert_eq!(r.attr, 1);
+    }
+
+    #[test]
+    fn one_r_constant_data_falls_back_to_majority() {
+        let ds = ds_from(&[(&[3.0], false), (&[3.0], false), (&[3.0], true)]);
+        let r = OneR::fit(&ds);
+        assert!(!r.predict(&[3.0]));
+    }
+
+    #[test]
+    fn gaussian_nb_separates_clean_classes() {
+        let ds = ds_from(&[
+            (&[1.0, 10.0], true),
+            (&[2.0, 12.0], true),
+            (&[1.5, 11.0], true),
+            (&[8.0, 30.0], false),
+            (&[9.0, 32.0], false),
+            (&[8.5, 31.0], false),
+        ]);
+        let nb = GaussianNb::fit(&ds).unwrap();
+        assert!(nb.predict(&[1.2, 10.5]));
+        assert!(!nb.predict(&[8.8, 31.5]));
+        assert_eq!(nb.evaluate(&ds).errors(), 0);
+    }
+
+    #[test]
+    fn gaussian_nb_uses_priors_for_ambiguous_points() {
+        // Identical class-conditional distributions (mean 1, var 1),
+        // 3:1 prior for positive: the tie breaks on the prior.
+        let ds = ds_from(&[
+            (&[0.0], true),
+            (&[2.0], true),
+            (&[0.0], true),
+            (&[2.0], true),
+            (&[0.0], true),
+            (&[2.0], true),
+            (&[0.0], false),
+            (&[2.0], false),
+        ]);
+        let nb = GaussianNb::fit(&ds).unwrap();
+        assert!(nb.predict(&[1.0]));
+        assert!(nb.predict(&[5.0]));
+    }
+
+    #[test]
+    fn gaussian_nb_requires_both_classes() {
+        let ds = ds_from(&[(&[1.0], true), (&[2.0], true)]);
+        assert!(GaussianNb::fit(&ds).is_none());
+    }
+
+    #[test]
+    fn gaussian_nb_handles_constant_attributes() {
+        // Zero variance on attribute 0: the floor keeps it finite.
+        let ds = ds_from(&[
+            (&[5.0, 1.0], true),
+            (&[5.0, 2.0], true),
+            (&[5.0, 9.0], false),
+            (&[5.0, 10.0], false),
+        ]);
+        let nb = GaussianNb::fit(&ds).unwrap();
+        assert!(nb.predict(&[5.0, 1.5]));
+        assert!(!nb.predict(&[5.0, 9.5]));
+    }
+
+    #[test]
+    fn fixed_rule_wraps_predicate() {
+        let ds = ds_from(&[(&[50.0], true), (&[10.0], false)]);
+        let promoted = FixedRule::new(|v: &[f64]| v[0] >= 43.0);
+        let cm = promoted.evaluate(&ds);
+        assert_eq!(cm.tp, 1);
+        assert_eq!(cm.tn, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Stratified k-fold cross-validation.
+//!
+//! The paper: "Results of 10-fold validation indicate that this tree
+//! correctly classifies 174 of the examples, and misclassifies 33
+//! examples." Weka's default 10-fold CV is stratified; so is ours.
+
+use crate::c45::{train, C45Params};
+use crate::data::MlDataset;
+use crate::metrics::{evaluate, ConfusionMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValResult {
+    /// Pooled confusion matrix over all folds.
+    pub pooled: ConfusionMatrix,
+    /// Per-fold matrices.
+    pub folds: Vec<ConfusionMatrix>,
+}
+
+impl CrossValResult {
+    /// Total correctly classified examples (the paper's "174 of 207").
+    pub fn correct(&self) -> usize {
+        self.pooled.correct()
+    }
+
+    /// Total misclassified examples (the paper's "33").
+    pub fn errors(&self) -> usize {
+        self.pooled.errors()
+    }
+
+    /// Pooled accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.pooled.accuracy()
+    }
+}
+
+/// Deterministic stratified fold assignment: shuffle positives and
+/// negatives separately, then deal them round-robin into `k` folds.
+/// Returns a fold id per instance.
+pub fn stratified_folds(ds: &MlDataset, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least two folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = Vec::new();
+    let mut neg: Vec<usize> = Vec::new();
+    for (i, inst) in ds.instances().iter().enumerate() {
+        if inst.label {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut fold = vec![0usize; ds.len()];
+    for (j, &i) in pos.iter().chain(neg.iter()).enumerate() {
+        fold[i] = j % k;
+    }
+    fold
+}
+
+/// Run stratified k-fold cross-validation of a C4.5 tree.
+///
+/// # Panics
+///
+/// Panics if any training fold ends up empty (dataset smaller than
+/// `k`).
+pub fn cross_validate(
+    ds: &MlDataset,
+    params: &C45Params,
+    k: usize,
+    seed: u64,
+) -> CrossValResult {
+    let fold = stratified_folds(ds, k, seed);
+    let mut pooled = ConfusionMatrix::default();
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let train_idx: Vec<usize> = (0..ds.len()).filter(|i| fold[*i] != f).collect();
+        let test_idx: Vec<usize> = (0..ds.len()).filter(|i| fold[*i] == f).collect();
+        if test_idx.is_empty() {
+            folds.push(ConfusionMatrix::default());
+            continue;
+        }
+        let tree = train(&ds.subset(&train_idx), params);
+        let cm = evaluate(&tree, &ds.subset(&test_idx));
+        pooled.merge(&cm);
+        folds.push(cm);
+    }
+    CrossValResult { pooled, folds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Instance;
+
+    fn separable(n: usize) -> MlDataset {
+        let mut ds = MlDataset::new(vec!["x"]);
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            let v = if pos {
+                i as f64 / n as f64
+            } else {
+                10.0 + i as f64 / n as f64
+            };
+            ds.push(Instance::new(vec![v], pos));
+        }
+        ds
+    }
+
+    #[test]
+    fn folds_are_balanced_and_stratified() {
+        let ds = separable(100);
+        let fold = stratified_folds(&ds, 10, 7);
+        let mut counts = [0usize; 10];
+        let mut pos_counts = [0usize; 10];
+        for (i, &f) in fold.iter().enumerate() {
+            counts[f] += 1;
+            if ds.instances()[i].label {
+                pos_counts[f] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 10));
+        assert!(pos_counts.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn folds_are_deterministic_per_seed() {
+        let ds = separable(50);
+        assert_eq!(stratified_folds(&ds, 5, 1), stratified_folds(&ds, 5, 1));
+        assert_ne!(stratified_folds(&ds, 5, 1), stratified_folds(&ds, 5, 2));
+    }
+
+    #[test]
+    fn cv_on_separable_data_is_perfect() {
+        let ds = separable(100);
+        let r = cross_validate(&ds, &C45Params::default(), 10, 3);
+        assert_eq!(r.correct(), 100);
+        assert_eq!(r.errors(), 0);
+        assert_eq!(r.accuracy(), 1.0);
+        assert_eq!(r.folds.len(), 10);
+        assert_eq!(r.pooled.total(), 100);
+    }
+
+    #[test]
+    fn cv_counts_every_example_once() {
+        let ds = separable(83);
+        let r = cross_validate(&ds, &C45Params::default(), 10, 3);
+        assert_eq!(r.pooled.total(), 83);
+    }
+
+    #[test]
+    fn noisy_data_yields_imperfect_cv() {
+        // Random labels: accuracy should be around chance, definitely
+        // not perfect.
+        let mut ds = MlDataset::new(vec!["x"]);
+        let mut state = 123456789u64;
+        for i in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ds.push(Instance::new(vec![i as f64], state & 4 == 0));
+        }
+        let r = cross_validate(&ds, &C45Params::default(), 10, 3);
+        assert!(r.errors() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn k_must_be_at_least_two() {
+        let ds = separable(10);
+        let _ = stratified_folds(&ds, 1, 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Simulation configuration.
+//!
+//! Every behavioural rate lives here with its calibration rationale.
+//! The preset matching the paper's June-2006 observations is
+//! [`crate::scenario::june2006`]; tests assert the emergent statistics
+//! rather than these inputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Which promotion algorithm the platform runs. See
+/// [`crate::promotion`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PromoterKind {
+    /// Pre-Sept-2006: a vote-count threshold within the queue window.
+    Threshold {
+        /// Votes required for promotion (paper boundary: 43).
+        min_votes: usize,
+    },
+    /// Post-Sept-2006 "unique digging diversity": in-network votes are
+    /// discounted, so a story needs more votes the more of them come
+    /// from fans of prior voters.
+    Diversity {
+        /// Weighted votes required for promotion.
+        min_weighted: f64,
+        /// Weight of an in-network vote (out-of-network votes weigh 1).
+        in_network_weight: f64,
+    },
+}
+
+/// All simulator parameters.
+///
+/// Rates are per-minute unless noted. Probabilities are per
+/// opportunity. See field docs for the observable each parameter is
+/// calibrated against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed; every run is a pure function of `(config, population)`.
+    pub seed: u64,
+
+    // ------------------------------------------------------ submissions
+    /// Mean story submissions per minute. Paper §3: "there are 1-2 new
+    /// submissions every minute", ">1500 daily".
+    pub submissions_per_minute: f64,
+
+    // ------------------------------------------------------ story appeal
+    /// Base probability a story is drawn from the "broadly appealing"
+    /// quality regime (the rest are niche). Calibrated so ≈20% of
+    /// *promoted* stories exceed 1500 votes (Fig. 2a).
+    pub high_quality_fraction: f64,
+    /// Extra broad-story probability for the most active submitters:
+    /// the realised probability is
+    /// `high_quality_fraction + high_quality_skill * min(1, activity/skill_activity_ref)`.
+    /// Top users are experienced content finders; a few of their many
+    /// submissions are genuinely broad hits (the paper's holdout had 5
+    /// interesting stories among 48 top-user submissions).
+    pub high_quality_skill: f64,
+    /// Activity at which the skill bonus saturates.
+    pub skill_activity_ref: f64,
+    /// Mean of the log-quality for niche stories.
+    pub niche_quality_mu: f64,
+    /// Sigma of the log-quality for niche stories.
+    pub niche_quality_sigma: f64,
+    /// Minimum quality for broadly appealing stories (uniform on
+    /// `[broad_quality_min, 1]`).
+    pub broad_quality_min: f64,
+
+    // ------------------------------------------------------ queue/front page
+    /// Minutes a story stays in the upcoming queue before expiring
+    /// (Digg: 24 hours).
+    pub queue_lifetime: u64,
+    /// Stories per listing page (Digg: 15).
+    pub page_size: usize,
+    /// Promotion algorithm.
+    pub promoter: PromoterKind,
+
+    // ------------------------------------------------------ browsing
+    /// Mean front-page browsing sessions per minute across the whole
+    /// population. Sessions are assigned to users proportionally to
+    /// activity.
+    pub frontpage_sessions_per_minute: f64,
+    /// Probability a front-page browser votes for a quality-1.0,
+    /// age-0 story they see. Actual probability scales with quality,
+    /// novelty decay and page position.
+    pub frontpage_vote_prob: f64,
+    /// Novelty decay time-constant in minutes for front-page
+    /// attention (Wu & Huberman observe a half-life of about a day;
+    /// `tau = 2076` gives exactly that).
+    pub novelty_tau: f64,
+    /// Mean upcoming-queue browsing sessions per minute. Paper §4:
+    /// "the quantity of submissions there … makes browsing
+    /// unmanageable to most users", so this is small relative to
+    /// front-page traffic.
+    pub upcoming_sessions_per_minute: f64,
+    /// Probability an upcoming browser votes for a quality-1.0 story.
+    pub upcoming_vote_prob: f64,
+    /// Geometric parameter for how deep browsers page into a listing:
+    /// probability of stopping at the current page. Higher = more
+    /// traffic concentrated on page 1.
+    pub page_stop_prob: f64,
+
+    // ------------------------------------------------------ external seeds
+    /// Mean external ("Digg it" button) vote opportunities per story
+    /// per minute at quality 1.0, while the story is less than
+    /// `external_window` minutes old. These are the independent,
+    /// interest-driven seeds of §5.1.
+    pub external_rate: f64,
+    /// Window (minutes since submission) during which external
+    /// discovery is active. Mirrors news-cycle relevance.
+    pub external_window: u64,
+
+    // ------------------------------------------------------ friends interface
+    /// Base probability that a fan who *does* check the Friends
+    /// interface notices a given entry. The realised exposure
+    /// probability is
+    /// `fan_exposure_prob * min(1, activity/attention_ref) / sqrt(friend_count)`:
+    /// casual users rarely visit within the feed window, and users
+    /// watching many friends have each entry diluted in a crowded
+    /// feed. Paper §3: the interface summarises friends' activity over
+    /// the preceding 48 hours.
+    pub fan_exposure_prob: f64,
+    /// Activity level at which a user is certain to check the site
+    /// within the feed window (see [`SimConfig::fan_exposure_prob`]).
+    pub attention_ref: f64,
+    /// Exponent of the feed-congestion dilution for the "stories my
+    /// friends dugg" view: exposure scales as
+    /// `friend_count^-feed_dilution`. This view carries every vote by
+    /// every watched friend, so it is crowded; 1 models a fixed
+    /// attention budget split across all watched friends. Values near
+    /// 1 are what keep vote-triggered cascades subcritical on a
+    /// scale-free graph (the epidemic threshold vanishes otherwise —
+    /// paper refs [16, 17]).
+    pub feed_dilution: f64,
+    /// Dilution exponent for the "stories my friends submitted" view.
+    /// Submissions are ~50x rarer than diggs, so this view stays
+    /// readable even for users watching many friends; the exponent is
+    /// correspondingly small.
+    pub submitted_dilution: f64,
+    /// Mean delay (minutes) between a vote and a fan's exposure to it.
+    pub fan_exposure_delay_mean: f64,
+    /// Friends-interface entries expire this many minutes after the
+    /// triggering vote (Digg: 48 hours).
+    pub feed_lifetime: u64,
+    /// Probability an exposed fan votes for a story their friend
+    /// *submitted*. Fans follow their friends' own output loyally
+    /// (Lerman's social-browsing result), so this is large; it drives
+    /// the initial in-network wave under a well-connected submitter.
+    pub friend_vote_submitted: f64,
+    /// Base probability an exposed fan votes for a story their friend
+    /// merely *dugg*, independent of quality — the community/affinity
+    /// component of social voting. Kept small so vote-triggered
+    /// cascades are subcritical (most recommendation chains terminate
+    /// after a few steps; paper refs [12, 23]).
+    pub friend_vote_base: f64,
+    /// Quality-proportional component of the exposed-fan vote
+    /// probability for dugg stories (total = base + slope * quality).
+    pub friend_vote_quality_slope: f64,
+
+    // ------------------------------------------------------ population
+    /// Number of users to simulate.
+    pub users: usize,
+}
+
+impl SimConfig {
+    /// A small, fast configuration for unit tests: few users, high
+    /// rates, short windows. Not calibrated to the paper.
+    pub fn toy(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            submissions_per_minute: 0.2,
+            high_quality_fraction: 0.3,
+            high_quality_skill: 0.0,
+            skill_activity_ref: 10.0,
+            niche_quality_mu: -2.2,
+            niche_quality_sigma: 0.7,
+            broad_quality_min: 0.6,
+            queue_lifetime: 12 * 60,
+            page_size: 15,
+            promoter: PromoterKind::Threshold { min_votes: 10 },
+            frontpage_sessions_per_minute: 6.0,
+            frontpage_vote_prob: 0.06,
+            novelty_tau: 600.0,
+            upcoming_sessions_per_minute: 2.0,
+            upcoming_vote_prob: 0.05,
+            page_stop_prob: 0.6,
+            external_rate: 0.05,
+            external_window: 12 * 60,
+            fan_exposure_prob: 0.6,
+            attention_ref: 3.0,
+            feed_dilution: 0.8,
+            submitted_dilution: 0.3,
+            fan_exposure_delay_mean: 30.0,
+            feed_lifetime: 48 * 60,
+            friend_vote_submitted: 0.4,
+            friend_vote_base: 0.3,
+            friend_vote_quality_slope: 0.2,
+            users: 400,
+        }
+    }
+
+    /// Validate internal consistency; returns a description of the
+    /// first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        fn prob(name: &str, v: f64) -> Result<(), String> {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+            Ok(())
+        }
+        fn nonneg(name: &str, v: f64) -> Result<(), String> {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and >= 0, got {v}"));
+            }
+            Ok(())
+        }
+        nonneg("submissions_per_minute", self.submissions_per_minute)?;
+        prob("high_quality_fraction", self.high_quality_fraction)?;
+        prob("high_quality_skill", self.high_quality_skill)?;
+        if self.high_quality_fraction + self.high_quality_skill > 1.0 {
+            return Err("broad-story probability may exceed 1 at max skill".into());
+        }
+        if self.skill_activity_ref <= 0.0 {
+            return Err("skill_activity_ref must be positive".into());
+        }
+        prob("broad_quality_min", self.broad_quality_min)?;
+        if self.page_size == 0 {
+            return Err("page_size must be positive".into());
+        }
+        if self.users == 0 {
+            return Err("users must be positive".into());
+        }
+        nonneg("frontpage_sessions_per_minute", self.frontpage_sessions_per_minute)?;
+        prob("frontpage_vote_prob", self.frontpage_vote_prob)?;
+        if self.novelty_tau <= 0.0 {
+            return Err("novelty_tau must be positive".into());
+        }
+        nonneg("upcoming_sessions_per_minute", self.upcoming_sessions_per_minute)?;
+        prob("upcoming_vote_prob", self.upcoming_vote_prob)?;
+        prob("page_stop_prob", self.page_stop_prob)?;
+        nonneg("external_rate", self.external_rate)?;
+        prob("fan_exposure_prob", self.fan_exposure_prob)?;
+        if self.attention_ref <= 0.0 {
+            return Err("attention_ref must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.feed_dilution) {
+            return Err(format!(
+                "feed_dilution must be in [0,1], got {}",
+                self.feed_dilution
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.submitted_dilution) {
+            return Err(format!(
+                "submitted_dilution must be in [0,1], got {}",
+                self.submitted_dilution
+            ));
+        }
+        if self.fan_exposure_delay_mean <= 0.0 {
+            return Err("fan_exposure_delay_mean must be positive".into());
+        }
+        prob("friend_vote_submitted", self.friend_vote_submitted)?;
+        prob("friend_vote_base", self.friend_vote_base)?;
+        prob("friend_vote_quality_slope", self.friend_vote_quality_slope)?;
+        if self.friend_vote_base + self.friend_vote_quality_slope > 1.0 {
+            return Err("friend vote probability may exceed 1 at quality 1".into());
+        }
+        match self.promoter {
+            PromoterKind::Threshold { min_votes } => {
+                if min_votes == 0 {
+                    return Err("min_votes must be positive".into());
+                }
+            }
+            PromoterKind::Diversity {
+                min_weighted,
+                in_network_weight,
+            } => {
+                if min_weighted <= 0.0 {
+                    return Err("min_weighted must be positive".into());
+                }
+                prob("in_network_weight", in_network_weight)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_config_is_valid() {
+        assert_eq!(SimConfig::toy(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_probability() {
+        let mut c = SimConfig::toy(1);
+        c.frontpage_vote_prob = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_page() {
+        let mut c = SimConfig::toy(1);
+        c.page_size = 0;
+        assert!(c.validate().unwrap_err().contains("page_size"));
+    }
+
+    #[test]
+    fn validation_catches_friend_prob_overflow() {
+        let mut c = SimConfig::toy(1);
+        c.friend_vote_base = 0.9;
+        c.friend_vote_quality_slope = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_promoter() {
+        let mut c = SimConfig::toy(1);
+        c.promoter = PromoterKind::Threshold { min_votes: 0 };
+        assert!(c.validate().is_err());
+        c.promoter = PromoterKind::Diversity {
+            min_weighted: 0.0,
+            in_network_weight: 0.3,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = SimConfig::toy(5);
+        let json = serde_json::to_string(&c).unwrap();
+        let c2: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, c2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Promotion algorithms.
+//!
+//! Digg's real algorithm was secret and changed regularly (§3); the
+//! paper pins down one hard observable — "we did not see any
+//! front-page stories with fewer than 43 votes, nor … any stories in
+//! the upcoming queue with more than 42 votes" — and discusses the
+//! September 2006 change that added "unique digging diversity of the
+//! individuals digging the story". We implement both:
+//!
+//! * [`ThresholdPromoter`] — promote when the raw vote count reaches
+//!   the threshold (43) while the story is still queue-eligible;
+//! * [`DiversityPromoter`] — weight each vote by whether it came from
+//!   inside the network of prior voters (in-network votes count less),
+//!   the post-controversy variant. Used by ablation ABL2.
+
+use crate::story::Story;
+use crate::time::Minute;
+use social_graph::SocialGraph;
+
+/// Decides whether an upcoming story should be promoted right now.
+///
+/// `Send + Sync` so a finished [`Sim`](crate::Sim) can be shared
+/// across threads (e.g. a `OnceLock` in the bench harness);
+/// promoters are stateless decision rules.
+pub trait Promoter: Send + Sync {
+    /// Returns `true` when `story` should move to the front page.
+    /// `graph` is the watch graph at decision time (Digg's algorithm
+    /// had access to the live network).
+    fn should_promote(&self, story: &Story, graph: &SocialGraph, now: Minute) -> bool;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Promote at a raw vote-count threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdPromoter {
+    /// Votes required (43 reproduces the paper's boundary).
+    pub min_votes: usize,
+}
+
+impl Promoter for ThresholdPromoter {
+    fn should_promote(&self, story: &Story, _graph: &SocialGraph, _now: Minute) -> bool {
+        story.vote_count() >= self.min_votes
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+/// Promote at a *diversity-weighted* vote threshold: the `k`-th vote
+/// counts `in_network_weight` (< 1) if the voter was a fan of any
+/// earlier voter (or the submitter), else 1. The submitter's implicit
+/// vote counts 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityPromoter {
+    /// Required weighted sum.
+    pub min_weighted: f64,
+    /// Weight of an in-network vote, in `[0, 1]`.
+    pub in_network_weight: f64,
+}
+
+impl DiversityPromoter {
+    /// The weighted vote sum for a story under this rule.
+    pub fn weighted_votes(&self, story: &Story, graph: &SocialGraph) -> f64 {
+        let mut sum = 0.0;
+        let votes = &story.votes;
+        for (k, v) in votes.iter().enumerate() {
+            if k == 0 {
+                sum += 1.0; // submitter
+                continue;
+            }
+            let prior: Vec<_> = votes[..k].iter().map(|p| p.user).collect();
+            let in_network = graph.is_fan_of_any(v.user, &prior);
+            sum += if in_network {
+                self.in_network_weight
+            } else {
+                1.0
+            };
+        }
+        sum
+    }
+}
+
+impl Promoter for DiversityPromoter {
+    fn should_promote(&self, story: &Story, graph: &SocialGraph, _now: Minute) -> bool {
+        self.weighted_votes(story, graph) >= self.min_weighted
+    }
+
+    fn name(&self) -> &'static str {
+        "diversity"
+    }
+}
+
+/// Construct the promoter described by a
+/// [`PromoterKind`](crate::config::PromoterKind).
+pub fn from_kind(kind: crate::config::PromoterKind) -> Box<dyn Promoter> {
+    match kind {
+        crate::config::PromoterKind::Threshold { min_votes } => {
+            Box::new(ThresholdPromoter { min_votes })
+        }
+        crate::config::PromoterKind::Diversity {
+            min_weighted,
+            in_network_weight,
+        } => Box::new(DiversityPromoter {
+            min_weighted,
+            in_network_weight,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::story::{StoryId, VoteChannel};
+    use social_graph::{GraphBuilder, UserId};
+
+    fn fan_graph() -> SocialGraph {
+        // Users 1 and 2 are fans of user 0; user 3 is unconnected.
+        let mut b = GraphBuilder::new(4);
+        b.add_watch(UserId(1), UserId(0));
+        b.add_watch(UserId(2), UserId(0));
+        b.build()
+    }
+
+    fn story_with_votes(voters: &[u32]) -> Story {
+        let mut s = Story::new(StoryId(0), UserId(0), Minute(0), 0.5);
+        for (i, &v) in voters.iter().enumerate() {
+            s.add_vote(UserId(v), Minute(i as u64 + 1), VoteChannel::External);
+        }
+        s
+    }
+
+    #[test]
+    fn threshold_counts_raw_votes() {
+        let g = fan_graph();
+        let p = ThresholdPromoter { min_votes: 3 };
+        let s = story_with_votes(&[1, 2]);
+        assert!(p.should_promote(&s, &g, Minute(10)));
+        let s = story_with_votes(&[1]);
+        assert!(!p.should_promote(&s, &g, Minute(10)));
+        assert_eq!(p.name(), "threshold");
+    }
+
+    #[test]
+    fn diversity_discounts_in_network_votes() {
+        let g = fan_graph();
+        let d = DiversityPromoter {
+            min_weighted: 3.0,
+            in_network_weight: 0.25,
+        };
+        // Votes by fans 1 and 2 (both in-network): 1 + 0.25 + 0.25.
+        let s = story_with_votes(&[1, 2]);
+        assert!((d.weighted_votes(&s, &g) - 1.5).abs() < 1e-12);
+        assert!(!d.should_promote(&s, &g, Minute(10)));
+        // An unconnected voter counts fully: + 1.0 -> 2.5, still short.
+        let s = story_with_votes(&[1, 2, 3]);
+        assert!((d.weighted_votes(&s, &g) - 2.5).abs() < 1e-12);
+        assert_eq!(d.name(), "diversity");
+    }
+
+    #[test]
+    fn diversity_equals_threshold_when_weight_is_one() {
+        let g = fan_graph();
+        let d = DiversityPromoter {
+            min_weighted: 3.0,
+            in_network_weight: 1.0,
+        };
+        let s = story_with_votes(&[1, 2]);
+        assert_eq!(d.weighted_votes(&s, &g), 3.0);
+        assert!(d.should_promote(&s, &g, Minute(5)));
+    }
+
+    #[test]
+    fn from_kind_dispatch() {
+        let p = from_kind(crate::config::PromoterKind::Threshold { min_votes: 2 });
+        assert_eq!(p.name(), "threshold");
+        let p = from_kind(crate::config::PromoterKind::Diversity {
+            min_weighted: 2.0,
+            in_network_weight: 0.5,
+        });
+        assert_eq!(p.name(), "diversity");
+    }
+}

@@ -1,0 +1,265 @@
+//! Stories, votes and story lifecycle.
+
+use crate::time::Minute;
+use serde::{Deserialize, Serialize};
+use social_graph::UserId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of a story, dense in submission order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct StoryId(pub u32);
+
+impl StoryId {
+    /// Dense index for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(i: usize) -> StoryId {
+        StoryId(u32::try_from(i).expect("story index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for StoryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// How a voter discovered the story. Ground truth for tests and
+/// ablations; the scraper deliberately does *not* export it (the paper
+/// had no such signal and inferred network spread from the fan graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VoteChannel {
+    /// Saw the story in the Friends interface (fan of a prior voter or
+    /// of the submitter) — the paper's network-based spread.
+    Friends,
+    /// Browsing the front page.
+    FrontPage,
+    /// Browsing the upcoming queue.
+    Upcoming,
+    /// Independent discovery outside Digg ("Digg it" buttons, search)
+    /// — the paper's interest-based seeds.
+    External,
+}
+
+/// One vote. The submitter's implicit vote is stored like any other,
+/// with channel [`VoteChannel::External`], as the first entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vote {
+    /// Who voted.
+    pub user: UserId,
+    /// When.
+    pub at: Minute,
+    /// Discovery channel (ground truth, not scraped).
+    pub channel: VoteChannel,
+}
+
+/// Story lifecycle. Mirrors Digg's: submissions enter the upcoming
+/// queue; within 24 hours they are either promoted to the front page
+/// or removed from the queue (but remain reachable from outside).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoryStatus {
+    /// In the upcoming queue.
+    Upcoming,
+    /// On the front page; the payload is the promotion time.
+    FrontPage(Minute),
+    /// Fell off the upcoming queue unpromoted.
+    Expired(Minute),
+}
+
+/// A story and its complete voting record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Story {
+    /// Identifier (submission order).
+    pub id: StoryId,
+    /// Submitting user.
+    pub submitter: UserId,
+    /// Submission time.
+    pub submitted_at: Minute,
+    /// Latent appeal to the general Digg audience, in `(0, 1)`. Drives
+    /// interest-based voting. Hidden from the scraper.
+    pub quality: f64,
+    /// Votes in chronological order; `votes[0]` is the submitter's.
+    pub votes: Vec<Vote>,
+    /// Lifecycle state.
+    pub status: StoryStatus,
+    #[serde(skip)]
+    voter_set: HashSet<UserId>,
+}
+
+impl Story {
+    /// Create a story; records the submitter's own implicit first vote.
+    pub fn new(id: StoryId, submitter: UserId, at: Minute, quality: f64) -> Story {
+        let mut voter_set = HashSet::new();
+        voter_set.insert(submitter);
+        Story {
+            id,
+            submitter,
+            submitted_at: at,
+            quality,
+            votes: vec![Vote {
+                user: submitter,
+                at,
+                channel: VoteChannel::External,
+            }],
+            status: StoryStatus::Upcoming,
+            voter_set,
+        }
+    }
+
+    /// Total votes (including the submitter's).
+    pub fn vote_count(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Has `user` already voted?
+    pub fn has_voted(&self, user: UserId) -> bool {
+        self.voter_set.contains(&user)
+    }
+
+    /// Record a vote. Returns `false` (and records nothing) if the
+    /// user already voted.
+    pub fn add_vote(&mut self, user: UserId, at: Minute, channel: VoteChannel) -> bool {
+        if !self.voter_set.insert(user) {
+            return false;
+        }
+        self.votes.push(Vote { user, at, channel });
+        true
+    }
+
+    /// Story age at `now` in minutes.
+    pub fn age_at(&self, now: Minute) -> u64 {
+        now.since(self.submitted_at)
+    }
+
+    /// Is the story currently in the upcoming queue?
+    pub fn is_upcoming(&self) -> bool {
+        matches!(self.status, StoryStatus::Upcoming)
+    }
+
+    /// Is the story on the front page?
+    pub fn is_front_page(&self) -> bool {
+        matches!(self.status, StoryStatus::FrontPage(_))
+    }
+
+    /// Promotion time, if promoted.
+    pub fn promoted_at(&self) -> Option<Minute> {
+        match self.status {
+            StoryStatus::FrontPage(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Voters in chronological order (the scraped artifact: names in
+    /// vote order, submitter first, no timestamps).
+    pub fn voters_chronological(&self) -> Vec<UserId> {
+        self.votes.iter().map(|v| v.user).collect()
+    }
+
+    /// Number of votes arriving through each channel; order:
+    /// `(friends, front_page, upcoming, external)`.
+    pub fn channel_breakdown(&self) -> (usize, usize, usize, usize) {
+        let mut f = 0;
+        let mut p = 0;
+        let mut u = 0;
+        let mut e = 0;
+        for v in &self.votes {
+            match v.channel {
+                VoteChannel::Friends => f += 1,
+                VoteChannel::FrontPage => p += 1,
+                VoteChannel::Upcoming => u += 1,
+                VoteChannel::External => e += 1,
+            }
+        }
+        (f, p, u, e)
+    }
+
+    /// Rebuild the internal voter set after deserialization (serde
+    /// skips it). Idempotent.
+    pub fn rebuild_index(&mut self) {
+        self.voter_set = self.votes.iter().map(|v| v.user).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn story() -> Story {
+        Story::new(StoryId(0), UserId(7), Minute(100), 0.5)
+    }
+
+    #[test]
+    fn submitter_vote_is_implicit() {
+        let s = story();
+        assert_eq!(s.vote_count(), 1);
+        assert!(s.has_voted(UserId(7)));
+        assert_eq!(s.votes[0].user, UserId(7));
+        assert_eq!(s.votes[0].at, Minute(100));
+    }
+
+    #[test]
+    fn double_votes_rejected() {
+        let mut s = story();
+        assert!(s.add_vote(UserId(1), Minute(101), VoteChannel::Friends));
+        assert!(!s.add_vote(UserId(1), Minute(102), VoteChannel::FrontPage));
+        assert!(!s.add_vote(UserId(7), Minute(102), VoteChannel::External));
+        assert_eq!(s.vote_count(), 2);
+    }
+
+    #[test]
+    fn votes_stay_chronological() {
+        let mut s = story();
+        s.add_vote(UserId(1), Minute(105), VoteChannel::Upcoming);
+        s.add_vote(UserId(2), Minute(110), VoteChannel::Friends);
+        let order = s.voters_chronological();
+        assert_eq!(order, vec![UserId(7), UserId(1), UserId(2)]);
+    }
+
+    #[test]
+    fn lifecycle_predicates() {
+        let mut s = story();
+        assert!(s.is_upcoming());
+        assert!(!s.is_front_page());
+        assert_eq!(s.promoted_at(), None);
+        s.status = StoryStatus::FrontPage(Minute(200));
+        assert!(s.is_front_page());
+        assert_eq!(s.promoted_at(), Some(Minute(200)));
+    }
+
+    #[test]
+    fn age_and_channels() {
+        let mut s = story();
+        assert_eq!(s.age_at(Minute(160)), 60);
+        assert_eq!(s.age_at(Minute(50)), 0);
+        s.add_vote(UserId(1), Minute(101), VoteChannel::Friends);
+        s.add_vote(UserId(2), Minute(101), VoteChannel::FrontPage);
+        s.add_vote(UserId(3), Minute(101), VoteChannel::Upcoming);
+        let (f, p, u, e) = s.channel_breakdown();
+        assert_eq!((f, p, u, e), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn rebuild_index_restores_dedup() {
+        let mut s = story();
+        s.add_vote(UserId(1), Minute(101), VoteChannel::Friends);
+        let json = serde_json::to_string(&s).unwrap();
+        let mut s2: Story = serde_json::from_str(&json).unwrap();
+        // Before rebuilding, the skip-field is empty; rebuild fixes it.
+        s2.rebuild_index();
+        assert!(s2.has_voted(UserId(1)));
+        assert!(!s2.add_vote(UserId(1), Minute(200), VoteChannel::External));
+    }
+}

@@ -1,0 +1,182 @@
+//! Bootstrap confidence intervals.
+//!
+//! The reproduction reports medians and fractions over a ~200-story
+//! sample; bootstrap percentile intervals quantify how much of any
+//! paper-vs-reproduction gap is sampling noise. Plain percentile
+//! bootstrap: resample with replacement, recompute the statistic,
+//! take quantiles of the resampled distribution.
+
+use crate::descriptive::quantile;
+use rand::Rng;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap interval for an arbitrary statistic.
+///
+/// `level` is the coverage (e.g. 0.95). Returns `None` for an empty
+/// sample, a degenerate level, or a statistic returning NaN on the
+/// original sample.
+pub fn bootstrap_ci<R, F>(
+    rng: &mut R,
+    xs: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+) -> Option<Interval>
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    if xs.is_empty() || !(0.0..1.0).contains(&level) || level <= 0.0 || resamples == 0 {
+        return None;
+    }
+    let estimate = statistic(xs);
+    if estimate.is_nan() {
+        return None;
+    }
+    let n = xs.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0f64; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.random_range(0..n)];
+        }
+        let s = statistic(&buf);
+        if !s.is_nan() {
+            stats.push(s);
+        }
+    }
+    if stats.len() < 2 {
+        return None;
+    }
+    let alpha = (1.0 - level) / 2.0;
+    Some(Interval {
+        estimate,
+        lo: quantile(&stats, alpha)?,
+        hi: quantile(&stats, 1.0 - alpha)?,
+    })
+}
+
+/// Bootstrap CI for the median.
+pub fn median_ci<R: Rng + ?Sized>(
+    rng: &mut R,
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+) -> Option<Interval> {
+    bootstrap_ci(
+        rng,
+        xs,
+        |s| crate::descriptive::median(s).unwrap_or(f64::NAN),
+        resamples,
+        level,
+    )
+}
+
+/// Bootstrap CI for the fraction of observations satisfying a
+/// predicate (encoded per-observation as 0/1 before calling).
+pub fn fraction_ci<R: Rng + ?Sized>(
+    rng: &mut R,
+    indicator: &[f64],
+    resamples: usize,
+    level: f64,
+) -> Option<Interval> {
+    bootstrap_ci(
+        rng,
+        indicator,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        level,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        let mut r = rng();
+        assert!(median_ci(&mut r, &[], 100, 0.95).is_none());
+        assert!(median_ci(&mut r, &[1.0], 0, 0.95).is_none());
+        assert!(median_ci(&mut r, &[1.0], 100, 0.0).is_none());
+        assert!(median_ci(&mut r, &[1.0], 100, 1.0).is_none());
+    }
+
+    #[test]
+    fn constant_sample_gives_zero_width() {
+        let mut r = rng();
+        let ci = median_ci(&mut r, &[5.0; 30], 200, 0.95).unwrap();
+        assert_eq!(ci.estimate, 5.0);
+        assert_eq!((ci.lo, ci.hi), (5.0, 5.0));
+        assert_eq!(ci.width(), 0.0);
+        assert!(ci.contains(5.0));
+        assert!(!ci.contains(5.1));
+    }
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..200).map(|i| (i % 37) as f64).collect();
+        let ci = median_ci(&mut r, &xs, 500, 0.9).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn wider_level_means_wider_interval() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let narrow = median_ci(&mut r, &xs, 800, 0.5).unwrap();
+        let wide = median_ci(&mut r, &xs, 800, 0.99).unwrap();
+        assert!(wide.width() >= narrow.width());
+    }
+
+    #[test]
+    fn fraction_ci_covers_true_rate() {
+        let mut r = rng();
+        // 30% ones.
+        let xs: Vec<f64> = (0..400).map(|i| if i % 10 < 3 { 1.0 } else { 0.0 }).collect();
+        let ci = fraction_ci(&mut r, &xs, 500, 0.95).unwrap();
+        assert!((ci.estimate - 0.3).abs() < 1e-12);
+        assert!(ci.contains(0.3));
+        assert!(ci.width() < 0.12, "interval too wide: {ci:?}");
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_size() {
+        let mut r = rng();
+        let small: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let large: Vec<f64> = (0..3000).map(|i| (i % 7) as f64).collect();
+        let ci_s = bootstrap_ci(&mut r, &small, |s| s.iter().sum::<f64>() / s.len() as f64, 400, 0.95).unwrap();
+        let ci_l = bootstrap_ci(&mut r, &large, |s| s.iter().sum::<f64>() / s.len() as f64, 400, 0.95).unwrap();
+        assert!(ci_l.width() < ci_s.width());
+    }
+}

@@ -1,0 +1,184 @@
+//! Cumulative time-series helpers for vote-accrual curves (Fig. 1).
+//!
+//! A story's observable history is a sequence of vote timestamps; the
+//! paper plots cumulative votes against minutes since submission, and
+//! describes the canonical shape: slow accrual in the upcoming queue, a
+//! sharp jump at promotion, then saturation. This module turns event
+//! times into those curves and extracts shape descriptors (promotion
+//! knee, saturation level, half-life of the post-promotion surge).
+
+/// A cumulative count series sampled on a regular grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CumulativeSeries {
+    /// Grid step (minutes in the paper's units).
+    pub step: f64,
+    /// `values[i]` = cumulative count at time `i * step`.
+    pub values: Vec<u64>,
+}
+
+impl CumulativeSeries {
+    /// Build from raw event times (need not be sorted), sampling the
+    /// cumulative count every `step` up to `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0` or `horizon < 0`.
+    pub fn from_events(times: &[f64], step: f64, horizon: f64) -> CumulativeSeries {
+        assert!(step > 0.0, "step must be positive");
+        assert!(horizon >= 0.0, "horizon must be non-negative");
+        let mut sorted: Vec<f64> = times.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN event time"));
+        let n = (horizon / step).floor() as usize + 1;
+        let mut values = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 * step;
+            let k = sorted.partition_point(|&x| x <= t);
+            values.push(k as u64);
+        }
+        CumulativeSeries { step, values }
+    }
+
+    /// Final (saturation) value.
+    pub fn final_value(&self) -> u64 {
+        self.values.last().copied().unwrap_or(0)
+    }
+
+    /// Time at which the series first reaches `count`, or `None`.
+    pub fn time_to_reach(&self, count: u64) -> Option<f64> {
+        self.values
+            .iter()
+            .position(|&v| v >= count)
+            .map(|i| i as f64 * self.step)
+    }
+
+    /// Largest single-step increment and the time at which it occurs —
+    /// a robust locator of the promotion jump in Fig. 1 curves.
+    pub fn steepest_step(&self) -> Option<(f64, u64)> {
+        if self.values.len() < 2 {
+            return None;
+        }
+        let mut best = (0usize, 0u64);
+        for i in 1..self.values.len() {
+            let d = self.values[i] - self.values[i - 1];
+            if d > best.1 {
+                best = (i, d);
+            }
+        }
+        Some((best.0 as f64 * self.step, best.1))
+    }
+
+    /// Time for the count to go from `final/2` to `final` after the
+    /// given start index — used to check the "half-life of about a day"
+    /// decay observed by Wu & Huberman on front-page stories.
+    pub fn half_life_from(&self, start_time: f64) -> Option<f64> {
+        let start = (start_time / self.step).floor() as usize;
+        if start >= self.values.len() {
+            return None;
+        }
+        let base = self.values[start];
+        let fin = self.final_value();
+        if fin <= base {
+            return None;
+        }
+        let half = base + (fin - base).div_ceil(2);
+        let t_half = self.values[start..]
+            .iter()
+            .position(|&v| v >= half)
+            .map(|i| (start + i) as f64 * self.step)?;
+        Some(t_half - start_time)
+    }
+
+    /// `(t, cumulative)` pairs for plotting.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * self.step, v))
+            .collect()
+    }
+}
+
+/// Fraction of final votes accrued by `t`, in `[0, 1]`; 0 if the series
+/// is all-zero.
+pub fn fraction_accrued(series: &CumulativeSeries, t: f64) -> f64 {
+    let fin = series.final_value();
+    if fin == 0 {
+        return 0.0;
+    }
+    let i = ((t / series.step).floor() as usize).min(series.values.len() - 1);
+    series.values[i] as f64 / fin as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> CumulativeSeries {
+        // Events at t = 1, 2, 2, 5, 9.
+        CumulativeSeries::from_events(&[5.0, 2.0, 1.0, 2.0, 9.0], 1.0, 10.0)
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone_and_correct() {
+        let s = demo();
+        assert_eq!(s.values, vec![0, 1, 3, 3, 3, 4, 4, 4, 4, 5, 5]);
+        assert!(s.values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn final_value_and_time_to_reach() {
+        let s = demo();
+        assert_eq!(s.final_value(), 5);
+        assert_eq!(s.time_to_reach(3), Some(2.0));
+        assert_eq!(s.time_to_reach(6), None);
+        assert_eq!(s.time_to_reach(0), Some(0.0));
+    }
+
+    #[test]
+    fn steepest_step_finds_jump() {
+        let s = demo();
+        // Jump of 2 at t=2.
+        assert_eq!(s.steepest_step(), Some((2.0, 2)));
+    }
+
+    #[test]
+    fn steepest_step_degenerate() {
+        let s = CumulativeSeries::from_events(&[], 1.0, 0.0);
+        assert_eq!(s.values.len(), 1);
+        assert_eq!(s.steepest_step(), None);
+    }
+
+    #[test]
+    fn half_life_measures_second_half() {
+        // 10 events at t=0, then 10 spread so that half of the
+        // remaining arrive by t=3.
+        let mut ev = vec![0.0; 10];
+        ev.extend([1.0, 2.0, 3.0, 3.0, 3.0, 8.0, 8.0, 9.0, 9.0, 10.0]);
+        let s = CumulativeSeries::from_events(&ev, 1.0, 10.0);
+        // From t=0: base 10, final 20, half target 15 reached at t=3.
+        assert_eq!(s.half_life_from(0.0), Some(3.0));
+    }
+
+    #[test]
+    fn half_life_none_when_flat() {
+        let s = CumulativeSeries::from_events(&[0.0, 0.0], 1.0, 5.0);
+        assert_eq!(s.half_life_from(0.0), None);
+        assert_eq!(s.half_life_from(100.0), None);
+    }
+
+    #[test]
+    fn fraction_accrued_clamps() {
+        let s = demo();
+        assert_eq!(fraction_accrued(&s, 0.0), 0.0);
+        assert_eq!(fraction_accrued(&s, 2.0), 0.6);
+        assert_eq!(fraction_accrued(&s, 1000.0), 1.0);
+        let empty = CumulativeSeries::from_events(&[], 1.0, 2.0);
+        assert_eq!(fraction_accrued(&empty, 1.0), 0.0);
+    }
+
+    #[test]
+    fn series_pairs() {
+        let s = CumulativeSeries::from_events(&[1.0], 0.5, 1.0);
+        assert_eq!(s.series(), vec![(0.0, 0), (0.5, 0), (1.0, 1)]);
+    }
+}

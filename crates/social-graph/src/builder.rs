@@ -1,0 +1,119 @@
+//! Incremental graph construction.
+
+use crate::graph::SocialGraph;
+use crate::id::UserId;
+
+/// Collects watch edges and produces an immutable [`SocialGraph`].
+///
+/// The builder enforces the graph invariants:
+///
+/// * self-loops are dropped (you cannot be your own fan on Digg);
+/// * duplicate edges are deduplicated;
+/// * out-of-range endpoints grow the user set (adding edge `(7, 9)` to
+///   a 3-user builder yields a 10-user graph) — convenient when
+///   replaying scraped edge lists whose id space is discovered on the
+///   fly.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(UserId, UserId)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with at least `n` users.
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Record that `fan` watches `watched` (i.e. `watched` is a friend
+    /// of `fan`, and `fan` is a fan of `watched`). Self-loops are
+    /// silently ignored.
+    pub fn add_watch(&mut self, fan: UserId, watched: UserId) {
+        if fan == watched {
+            return;
+        }
+        self.n = self.n.max(fan.index() + 1).max(watched.index() + 1);
+        self.edges.push((fan, watched));
+    }
+
+    /// Number of users the built graph will have.
+    pub fn user_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of recorded (pre-deduplication) edges.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalise into an immutable graph.
+    pub fn build(mut self) -> SocialGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut friends: Vec<Vec<UserId>> = vec![Vec::new(); self.n];
+        let mut fans: Vec<Vec<UserId>> = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            friends[a.index()].push(b);
+            fans[b.index()].push(a);
+        }
+        // `friends` lists are sorted because edges were sorted by (a, b);
+        // `fans` lists are sorted because for fixed b the a's arrive in
+        // ascending order too. Sort defensively anyway in debug builds.
+        debug_assert!(friends.iter().all(|v| v.windows(2).all(|w| w[0] < w[1])));
+        debug_assert!(fans.iter().all(|v| v.windows(2).all(|w| w[0] < w[1])));
+        let m = self.edges.len();
+        SocialGraph::from_parts(friends, fans, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_watch(UserId(0), UserId(1));
+        b.add_watch(UserId(0), UserId(1)); // duplicate
+        b.add_watch(UserId(1), UserId(1)); // self loop
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.friends(UserId(0)), &[UserId(1)]);
+        assert!(g.friends(UserId(1)).is_empty());
+    }
+
+    #[test]
+    fn grows_user_space() {
+        let mut b = GraphBuilder::new(0);
+        b.add_watch(UserId(5), UserId(2));
+        assert_eq!(b.user_count(), 6);
+        let g = b.build();
+        assert_eq!(g.user_count(), 6);
+        assert!(g.watches(UserId(5), UserId(2)));
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_watch(UserId(0), UserId(4));
+        b.add_watch(UserId(0), UserId(2));
+        b.add_watch(UserId(0), UserId(3));
+        b.add_watch(UserId(3), UserId(0));
+        b.add_watch(UserId(1), UserId(0));
+        let g = b.build();
+        assert_eq!(g.friends(UserId(0)), &[UserId(2), UserId(3), UserId(4)]);
+        assert_eq!(g.fans(UserId(0)), &[UserId(1), UserId(3)]);
+    }
+
+    #[test]
+    fn pending_edges_counts_raw_inserts() {
+        let mut b = GraphBuilder::new(3);
+        b.add_watch(UserId(0), UserId(1));
+        b.add_watch(UserId(0), UserId(1));
+        assert_eq!(b.pending_edges(), 2);
+        assert_eq!(b.build().edge_count(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! The immutable directed social graph.
+
+use crate::id::UserId;
+use serde::{Deserialize, Serialize};
+
+/// An immutable directed graph over users `0..user_count`, stored as
+/// sorted adjacency lists in both directions.
+///
+/// Terminology follows the paper: a *watch edge* `a -> b` means user
+/// `a` watches (is a fan of) user `b`; `b` is then one of `a`'s
+/// *friends* and `a` one of `b`'s *fans*.
+///
+/// Construction goes through [`GraphBuilder`](crate::GraphBuilder),
+/// which deduplicates edges and drops self-loops; the invariants relied
+/// on here (sorted, duplicate-free neighbour lists, symmetric
+/// friends/fans views) are established there.
+///
+/// # Examples
+///
+/// ```
+/// use social_graph::{GraphBuilder, UserId};
+///
+/// let mut b = GraphBuilder::new(2);
+/// b.add_watch(UserId(0), UserId(1)); // 0 watches 1
+/// let g = b.build();
+/// assert_eq!(g.friends(UserId(0)), &[UserId(1)]);
+/// assert_eq!(g.fans(UserId(1)), &[UserId(0)]);
+/// assert_eq!(g.fan_count(UserId(1)), 1); // the paper's fans1
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocialGraph {
+    /// `friends[a]` = sorted users that `a` watches (out-neighbours).
+    friends: Vec<Vec<UserId>>,
+    /// `fans[b]` = sorted users watching `b` (in-neighbours).
+    fans: Vec<Vec<UserId>>,
+    edge_count: usize,
+}
+
+impl SocialGraph {
+    /// Internal constructor used by the builder; `friends` and `fans`
+    /// must be mutually consistent, sorted, and deduplicated.
+    pub(crate) fn from_parts(
+        friends: Vec<Vec<UserId>>,
+        fans: Vec<Vec<UserId>>,
+        edge_count: usize,
+    ) -> SocialGraph {
+        debug_assert_eq!(friends.len(), fans.len());
+        SocialGraph {
+            friends,
+            fans,
+            edge_count,
+        }
+    }
+
+    /// A graph with `n` users and no edges.
+    pub fn empty(n: usize) -> SocialGraph {
+        SocialGraph {
+            friends: vec![Vec::new(); n],
+            fans: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of users (nodes).
+    pub fn user_count(&self) -> usize {
+        self.friends.len()
+    }
+
+    /// Number of watch edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Users that `a` watches, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range (ids come from this graph).
+    pub fn friends(&self, a: UserId) -> &[UserId] {
+        &self.friends[a.index()]
+    }
+
+    /// Users watching `b` (its fans), sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn fans(&self, b: UserId) -> &[UserId] {
+        &self.fans[b.index()]
+    }
+
+    /// Out-degree: how many users `a` watches.
+    pub fn friend_count(&self, a: UserId) -> usize {
+        self.friends[a.index()].len()
+    }
+
+    /// In-degree: how many fans `b` has. This is the quantity the
+    /// paper calls `fans1` when `b` is a story's submitter.
+    pub fn fan_count(&self, b: UserId) -> usize {
+        self.fans[b.index()].len()
+    }
+
+    /// Does `a` watch `b`? (Is `a` a fan of `b`?)
+    pub fn watches(&self, a: UserId, b: UserId) -> bool {
+        self.friends[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Is `a` a fan of *any* of the given users? This is the cascade
+    /// membership test: a vote is "in-network" iff the voter is a fan
+    /// of any prior voter.
+    ///
+    /// Cost is `O(|candidates| log d)`; callers with a hot loop should
+    /// iterate the smaller side themselves.
+    pub fn is_fan_of_any(&self, a: UserId, candidates: &[UserId]) -> bool {
+        candidates.iter().any(|&c| self.watches(a, c))
+    }
+
+    /// Iterate all watch edges `(fan, watched)` in ascending order.
+    pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
+        self.friends.iter().enumerate().flat_map(|(a, outs)| {
+            outs.iter()
+                .map(move |&b| (UserId::from_index(a), b))
+        })
+    }
+
+    /// Iterate all user ids.
+    pub fn users(&self) -> impl Iterator<Item = UserId> {
+        (0..self.user_count()).map(UserId::from_index)
+    }
+
+    /// Users sorted by descending fan count — the "top users" ranking
+    /// used throughout the paper (rank 1 = most fans). Ties are broken
+    /// by ascending id for determinism.
+    pub fn users_by_fans_desc(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self.users().collect();
+        ids.sort_by_key(|&u| (std::cmp::Reverse(self.fan_count(u)), u));
+        ids
+    }
+
+    /// The subgraph induced by `members`: same user-id space, keeping
+    /// only watch edges with *both* endpoints in the set. This is the
+    /// shape of the paper's first network artifact — the snapshot of
+    /// the top-1020 users' friends and fans among themselves.
+    pub fn induced_subgraph(&self, members: &[UserId]) -> SocialGraph {
+        let mut in_set = vec![false; self.user_count()];
+        for &m in members {
+            in_set[m.index()] = true;
+        }
+        let mut b = crate::builder::GraphBuilder::new(self.user_count());
+        for (a, c) in self.edges() {
+            if in_set[a.index()] && in_set[c.index()] {
+                b.add_watch(a, c);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> SocialGraph {
+        // 0 watches 1, 1 watches 2, 2 watches 0.
+        let mut b = GraphBuilder::new(3);
+        b.add_watch(UserId(0), UserId(1));
+        b.add_watch(UserId(1), UserId(2));
+        b.add_watch(UserId(2), UserId(0));
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SocialGraph::empty(4);
+        assert_eq!(g.user_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.friends(UserId(0)).is_empty());
+        assert!(g.fans(UserId(3)).is_empty());
+    }
+
+    #[test]
+    fn friends_and_fans_are_dual() {
+        let g = triangle();
+        assert_eq!(g.friends(UserId(0)), &[UserId(1)]);
+        assert_eq!(g.fans(UserId(1)), &[UserId(0)]);
+        assert_eq!(g.fan_count(UserId(0)), 1);
+        assert_eq!(g.friend_count(UserId(0)), 1);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn watches_query() {
+        let g = triangle();
+        assert!(g.watches(UserId(0), UserId(1)));
+        assert!(!g.watches(UserId(1), UserId(0)));
+    }
+
+    #[test]
+    fn fan_of_any() {
+        let g = triangle();
+        assert!(g.is_fan_of_any(UserId(0), &[UserId(2), UserId(1)]));
+        assert!(!g.is_fan_of_any(UserId(0), &[UserId(2)]));
+        assert!(!g.is_fan_of_any(UserId(0), &[]));
+    }
+
+    #[test]
+    fn edges_iterates_all() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(
+            es,
+            vec![
+                (UserId(0), UserId(1)),
+                (UserId(1), UserId(2)),
+                (UserId(2), UserId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = triangle();
+        // Members {0, 1}: only the 0 -> 1 edge survives.
+        let sub = g.induced_subgraph(&[UserId(0), UserId(1)]);
+        assert_eq!(sub.user_count(), 3); // id space preserved
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.watches(UserId(0), UserId(1)));
+        assert!(!sub.watches(UserId(1), UserId(2)));
+        // Full membership reproduces the graph; empty gives no edges.
+        assert_eq!(
+            g.induced_subgraph(&[UserId(0), UserId(1), UserId(2)]),
+            g
+        );
+        assert_eq!(g.induced_subgraph(&[]).edge_count(), 0);
+    }
+
+    #[test]
+    fn top_user_ranking() {
+        let mut b = GraphBuilder::new(4);
+        // User 2 gets two fans, user 0 one fan.
+        b.add_watch(UserId(1), UserId(2));
+        b.add_watch(UserId(3), UserId(2));
+        b.add_watch(UserId(2), UserId(0));
+        let g = b.build();
+        let ranked = g.users_by_fans_desc();
+        assert_eq!(ranked[0], UserId(2));
+        assert_eq!(ranked[1], UserId(0));
+        // Remaining tie (zero fans) broken by id.
+        assert_eq!(&ranked[2..], &[UserId(1), UserId(3)]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Edge-list serialization.
+//!
+//! Graphs round-trip through a plain text edge list (`fan watched`
+//! per line) and through serde (the adjacency representation derives
+//! `Serialize`/`Deserialize`). The text format is what the dataset
+//! artifacts ship.
+
+use crate::builder::GraphBuilder;
+use crate::graph::SocialGraph;
+use crate::id::UserId;
+
+/// Errors from parsing an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not consist of exactly two integers.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed { line } => {
+                write!(f, "malformed edge on line {line}: expected `fan watched`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Render the graph as a text edge list, one `fan watched` pair per
+/// line, ascending. Lines starting with `#` are comments.
+pub fn to_edge_list(g: &SocialGraph) -> String {
+    let mut out = String::with_capacity(g.edge_count() * 8 + 64);
+    out.push_str(&format!("# users: {}\n", g.user_count()));
+    for (a, b) in g.edges() {
+        out.push_str(&format!("{} {}\n", a.0, b.0));
+    }
+    out
+}
+
+/// Parse a text edge list produced by [`to_edge_list`] (or any
+/// whitespace-separated pair-per-line format). Comment (`#`) and blank
+/// lines are skipped. The user count grows to fit the largest id; pass
+/// `min_users` to force isolated trailing users.
+pub fn from_edge_list(text: &str, min_users: usize) -> Result<SocialGraph, ParseError> {
+    let mut b = GraphBuilder::new(min_users);
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(x), Some(y), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(ParseError::Malformed { line: i + 1 });
+        };
+        let (Ok(a), Ok(c)) = (x.parse::<u32>(), y.parse::<u32>()) else {
+            return Err(ParseError::Malformed { line: i + 1 });
+        };
+        b.add_watch(UserId(a), UserId(c));
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SocialGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_watch(UserId(0), UserId(2));
+        b.add_watch(UserId(2), UserId(1));
+        b.build()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let text = to_edge_list(&g);
+        let g2 = from_edge_list(&text, g.user_count()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_blanks() {
+        let g = from_edge_list("# hello\n\n0 1\n", 0).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.user_count(), 2);
+    }
+
+    #[test]
+    fn parser_reports_line_numbers() {
+        let err = from_edge_list("0 1\nnot an edge\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::Malformed { line: 2 });
+        assert!(err.to_string().contains("line 2"));
+        let err = from_edge_list("0 1 2\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::Malformed { line: 1 });
+    }
+
+    #[test]
+    fn min_users_pads_isolated_nodes() {
+        let g = from_edge_list("0 1\n", 10).unwrap();
+        assert_eq!(g.user_count(), 10);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = sample();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: SocialGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+}

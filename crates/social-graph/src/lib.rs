@@ -1,0 +1,49 @@
+//! # social-graph
+//!
+//! Directed social-graph substrate with Digg's friend/fan semantics.
+//!
+//! On Digg (paper §3): "The friendship relationship is asymmetric.
+//! When user A lists user B as a friend, user A is able to watch the
+//! activity of B but not vice versa. We call A the fan of B." In graph
+//! terms we store a *watch* edge `A -> B`; then
+//!
+//! * the **friends** of `A` are the out-neighbours of `A`
+//!   (users `A` watches), and
+//! * the **fans** of `B` are the in-neighbours of `B`
+//!   (users watching `B`).
+//!
+//! A story a user submits or votes on becomes visible to that user's
+//! fans through the Friends interface, so information flows *against*
+//! the watch edges: from `B` to its fans.
+//!
+//! Modules:
+//!
+//! * [`id`] — compact user identifiers.
+//! * [`graph`] — immutable [`SocialGraph`] with O(log d) edge queries.
+//! * [`builder`] — incremental construction and deduplication.
+//! * [`traversal`] — BFS, reachability, weakly connected components.
+//! * [`metrics`] — degree sequences, reciprocity, density, clustering.
+//! * [`temporal`] — dated fan links and as-of-date snapshot
+//!   reconstruction (the paper's Feb-2008 → June-2006 procedure).
+//! * [`generators`] — Erdős–Rényi, preferential attachment,
+//!   configuration-model and modular random graphs.
+//! * [`sampling`] — observation models: snowball crawls and partial
+//!   edge observation (scrape-fidelity ablations).
+//! * [`io`] — edge-list serialization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod generators;
+pub mod graph;
+pub mod id;
+pub mod io;
+pub mod metrics;
+pub mod sampling;
+pub mod temporal;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use graph::SocialGraph;
+pub use id::UserId;

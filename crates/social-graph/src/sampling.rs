@@ -1,0 +1,153 @@
+//! Graph observation models: snowball crawls and partial edge
+//! observation.
+//!
+//! The paper's network was *observed*, not given: a crawl outward from
+//! the Top Users list plus fan lists of every voter encountered. This
+//! module models such partial observation so analyses can be tested
+//! for robustness against it (ablation ABL5):
+//!
+//! * [`snowball`] — breadth-first crawl from seed users to a given
+//!   depth, keeping every edge incident to a crawled user whose fan
+//!   endpoint was discovered;
+//! * [`subsample_edges`] — keep each watch edge independently with
+//!   probability `p` (missed fan-list pages, deleted accounts,
+//!   rate-limited requests).
+
+use crate::builder::GraphBuilder;
+use crate::graph::SocialGraph;
+use crate::id::UserId;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Breadth-first snowball crawl: starting from `seeds`, repeatedly
+/// fetch the fan lists of discovered users up to `depth` waves
+/// (depth 0 = fan lists of the seeds only). Returns the observed
+/// graph — all fan edges of every *fetched* user — over the original
+/// id space, plus the list of fetched users.
+pub fn snowball(
+    graph: &SocialGraph,
+    seeds: &[UserId],
+    depth: u32,
+) -> (SocialGraph, Vec<UserId>) {
+    let mut fetched = vec![false; graph.user_count()];
+    let mut b = GraphBuilder::new(graph.user_count());
+    let mut q: VecDeque<(UserId, u32)> = VecDeque::new();
+    let mut order = Vec::new();
+    for &s in seeds {
+        if !fetched[s.index()] {
+            fetched[s.index()] = true;
+            q.push_back((s, 0));
+        }
+    }
+    while let Some((u, d)) = q.pop_front() {
+        order.push(u);
+        // "Fetching" u's page reveals all of u's fans.
+        for &f in graph.fans(u) {
+            b.add_watch(f, u);
+            if d < depth && !fetched[f.index()] {
+                fetched[f.index()] = true;
+                q.push_back((f, d + 1));
+            }
+        }
+    }
+    (b.build(), order)
+}
+
+/// Independently keep each watch edge with probability `p` — a model
+/// of incomplete fan-list scraping.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn subsample_edges<R: Rng + ?Sized>(rng: &mut R, graph: &SocialGraph, p: f64) -> SocialGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(graph.user_count());
+    for (a, c) in graph.edges() {
+        if rng.random::<f64>() < p {
+            b.add_watch(a, c);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// fans: 0 <- {1, 2}; 1 <- {3}; 3 <- {4}.
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_watch(UserId(1), UserId(0));
+        b.add_watch(UserId(2), UserId(0));
+        b.add_watch(UserId(3), UserId(1));
+        b.add_watch(UserId(4), UserId(3));
+        b.build()
+    }
+
+    #[test]
+    fn snowball_depth_zero_fetches_only_seeds() {
+        let g = graph();
+        let (obs, fetched) = snowball(&g, &[UserId(0)], 0);
+        // Only user 0's fan list: edges 1->0 and 2->0.
+        assert_eq!(obs.edge_count(), 2);
+        assert!(obs.watches(UserId(1), UserId(0)));
+        assert!(!obs.watches(UserId(3), UserId(1)));
+        assert_eq!(fetched, vec![UserId(0)]);
+    }
+
+    #[test]
+    fn snowball_expands_by_depth() {
+        let g = graph();
+        let (obs, fetched) = snowball(&g, &[UserId(0)], 1);
+        // Wave 1 fetches users 1 and 2, revealing 3 -> 1.
+        assert_eq!(obs.edge_count(), 3);
+        assert!(obs.watches(UserId(3), UserId(1)));
+        assert!(!obs.watches(UserId(4), UserId(3)));
+        assert_eq!(fetched.len(), 3);
+        let (obs, _) = snowball(&g, &[UserId(0)], 2);
+        assert_eq!(obs.edge_count(), 4);
+    }
+
+    #[test]
+    fn snowball_full_depth_recovers_reachable_subgraph() {
+        let g = graph();
+        let (obs, _) = snowball(&g, &[UserId(0)], u32::MAX);
+        assert_eq!(obs, g);
+    }
+
+    #[test]
+    fn snowball_duplicate_seeds_are_fetched_once() {
+        let g = graph();
+        let (_, fetched) = snowball(&g, &[UserId(0), UserId(0)], 0);
+        assert_eq!(fetched.len(), 1);
+    }
+
+    #[test]
+    fn subsample_extremes() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(subsample_edges(&mut rng, &g, 1.0), g);
+        assert_eq!(subsample_edges(&mut rng, &g, 0.0).edge_count(), 0);
+    }
+
+    #[test]
+    fn subsample_rate_is_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = GraphBuilder::new(200);
+        for a in 0..199u32 {
+            for c in (a + 1)..200 {
+                b.add_watch(UserId(a), UserId(c));
+            }
+        }
+        let g = b.build();
+        let s = subsample_edges(&mut rng, &g, 0.3);
+        let frac = s.edge_count() as f64 / g.edge_count() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "kept {frac}");
+        // Subsampled edges are a subset.
+        for (a, c) in s.edges() {
+            assert!(g.watches(a, c));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the social-graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_graph::generators;
+use social_graph::io;
+use social_graph::metrics;
+use social_graph::traversal::{self, Direction};
+use social_graph::{GraphBuilder, SocialGraph, UserId};
+
+/// Arbitrary edge lists over a small id space.
+fn edges_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..40, 0u32..40), 0..300)
+}
+
+fn build(edges: &[(u32, u32)]) -> SocialGraph {
+    let mut b = GraphBuilder::new(0);
+    for &(a, c) in edges {
+        b.add_watch(UserId(a), UserId(c));
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn friends_and_fans_are_inverse_views(edges in edges_strategy()) {
+        let g = build(&edges);
+        // Every friend edge appears as a fan edge and vice versa.
+        for a in g.users() {
+            for &b in g.friends(a) {
+                prop_assert!(g.fans(b).contains(&a));
+            }
+            for &f in g.fans(a) {
+                prop_assert!(g.friends(f).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_adjacency_totals(edges in edges_strategy()) {
+        let g = build(&edges);
+        let via_friends: usize = g.users().map(|u| g.friend_count(u)).sum();
+        let via_fans: usize = g.users().map(|u| g.fan_count(u)).sum();
+        prop_assert_eq!(via_friends, g.edge_count());
+        prop_assert_eq!(via_fans, g.edge_count());
+    }
+
+    #[test]
+    fn no_self_loops_survive(edges in edges_strategy()) {
+        let g = build(&edges);
+        for u in g.users() {
+            prop_assert!(!g.watches(u, u));
+        }
+    }
+
+    #[test]
+    fn watches_agrees_with_adjacency(edges in edges_strategy()) {
+        let g = build(&edges);
+        for (a, b) in g.edges() {
+            prop_assert!(g.watches(a, b));
+        }
+    }
+
+    #[test]
+    fn edge_list_roundtrip(edges in edges_strategy()) {
+        let g = build(&edges);
+        let text = io::to_edge_list(&g);
+        let g2 = io::from_edge_list(&text, g.user_count()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn bfs_distance_zero_is_source(edges in edges_strategy(), src in 0u32..40) {
+        let g = build(&edges);
+        if (src as usize) < g.user_count() {
+            let d = traversal::bfs_distances(&g, UserId(src), Direction::Friends);
+            prop_assert_eq!(d[src as usize], Some(0));
+            // Triangle-ish property: any neighbour has distance <= 1.
+            for &f in g.friends(UserId(src)) {
+                prop_assert!(d[f.index()] == Some(1) || f == UserId(src));
+            }
+        }
+    }
+
+    #[test]
+    fn component_ids_are_consistent_with_edges(edges in edges_strategy()) {
+        let g = build(&edges);
+        let comp = traversal::weak_components(&g);
+        for (a, b) in g.edges() {
+            prop_assert_eq!(comp[a.index()], comp[b.index()]);
+        }
+    }
+
+    #[test]
+    fn largest_component_bounded_by_user_count(edges in edges_strategy()) {
+        let g = build(&edges);
+        let l = traversal::largest_component_size(&g);
+        prop_assert!(l <= g.user_count());
+        if g.user_count() > 0 {
+            prop_assert!(l >= 1);
+        }
+    }
+
+    #[test]
+    fn reciprocity_and_density_in_unit_interval(edges in edges_strategy()) {
+        let g = build(&edges);
+        let r = metrics::reciprocity(&g);
+        prop_assert!((0.0..=1.0).contains(&r));
+        let d = metrics::density(&g);
+        prop_assert!((0.0..=1.0).contains(&d));
+        let c = metrics::average_clustering(&g);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+    }
+
+    #[test]
+    fn ranking_is_sorted_by_fans(edges in edges_strategy()) {
+        let g = build(&edges);
+        let ranked = g.users_by_fans_desc();
+        prop_assert_eq!(ranked.len(), g.user_count());
+        for w in ranked.windows(2) {
+            prop_assert!(g.fan_count(w[0]) >= g.fan_count(w[1]));
+        }
+    }
+
+    #[test]
+    fn er_density_tracks_p(seed in any::<u64>(), p in 0.0..0.2f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(&mut rng, 120, p);
+        let d = metrics::density(&g);
+        // Loose statistical bound: density within 5 sigma of p.
+        let sigma = (p * (1.0 - p) / (120.0 * 119.0)).sqrt();
+        prop_assert!((d - p).abs() < 5.0 * sigma + 0.01, "density {d} vs p {p}");
+    }
+
+    #[test]
+    fn pa_graph_is_weakly_connected(seed in any::<u64>(), m in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::preferential_attachment(&mut rng, 100, m, 1.0);
+        prop_assert_eq!(traversal::weak_component_count(&g), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Epidemic playground: the paper's §6 future-work program, runnable.
+//!
+//! ```sh
+//! cargo run --release --example epidemic_playground [seed]
+//! ```
+//!
+//! Three mini-experiments on synthetic social graphs:
+//!
+//! 1. SIR epidemic thresholds: Erdős–Rényi vs scale-free (preferential
+//!    attachment) at equal mean degree — the vanishing-threshold
+//!    effect of refs [16, 17];
+//! 2. threshold ("complex contagion") cascades on a modular graph —
+//!    the community-boundary transient of ref [5];
+//! 3. community detection on the simulated Digg fan graph itself.
+
+use digg_epidemics::{cascade_model, community, threshold};
+use digg_sim::scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_graph::generators;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    println!("== 1. epidemic thresholds: ER vs scale-free (n=3000, <k>=6) ==");
+    let n = 3000;
+    let er = generators::erdos_renyi(&mut rng, n, 6.0 / n as f64);
+    let sf = generators::preferential_attachment(&mut rng, n, 3, 1.0);
+    let betas = [0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2];
+    for (name, g) in [("erdos-renyi", &er), ("scale-free ", &sf)] {
+        let mf = threshold::mean_field_threshold(g).unwrap();
+        let pts = threshold::sweep(&mut rng, g, &betas, 1.0, 30, 0.05);
+        print!("  {name}  mean-field λc {mf:.4}  attack rates:");
+        for p in &pts {
+            print!(" {:.3}", p.mean_attack_rate);
+        }
+        let emp = threshold::empirical_threshold(&pts, 0.01);
+        println!(
+            "  → empirical ≈ {}",
+            emp.map(|b| format!("{b:.3}")).unwrap_or_else(|| "-".into())
+        );
+    }
+    println!("  (the scale-free curve lifts off earlier: hubs carry marginal contagions)");
+
+    println!("\n== 2. complex contagion on a 2-community modular graph ==");
+    let n = 400;
+    let g = generators::modular(&mut rng, n, 2, 0.15, 0.01);
+    let blocks = cascade_model::block_members(n, 2);
+    for phi in [0.05, 0.1, 0.2, 0.3] {
+        let out = cascade_model::run(&g, &blocks[0][..20], phi, 300);
+        println!(
+            "  phi={phi:.2}: home community {:.0}% active, other community {}",
+            100.0 * out.saturation(&blocks[0]),
+            match out.invasion_time(&blocks[1]) {
+                Some(t) => format!("invaded at step {t} ({:.0}% active)", 100.0 * out.saturation(&blocks[1])),
+                None => "never invaded".to_string(),
+            }
+        );
+    }
+    println!("  (higher thresholds trap cascades inside their home community)");
+
+    println!("\n== 3. community structure of a simulated Digg fan graph ==");
+    let (_, pop) = scenario::june2006_small(seed);
+    let labels = community::label_propagation(&mut rng, &pop.graph, 20);
+    let q = community::modularity(&pop.graph, &labels);
+    println!(
+        "  {} users, {} watch edges -> {} communities, modularity Q = {q:.3}",
+        pop.graph.user_count(),
+        pop.graph.edge_count(),
+        community::community_count(&labels),
+    );
+    println!(
+        "  (the activity-attractiveness population has a dense core rather than\n\
+          planted blocks, so Q stays modest — compare a planted modular graph:)"
+    );
+    let planted = generators::modular(&mut rng, 300, 3, 0.25, 0.005);
+    let labels = community::label_propagation(&mut rng, &planted, 20);
+    println!(
+        "  planted 3-block graph: {} communities found, Q = {:.3}",
+        community::community_count(&labels),
+        community::modularity(&planted, &labels),
+    );
+}
