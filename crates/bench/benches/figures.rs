@@ -30,13 +30,9 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| black_box(fig2::run_b(ds)))
     });
 
-    c.bench_function("fig3a_influence", |b| {
-        b.iter(|| black_box(fig3::run_a(ds)))
-    });
+    c.bench_function("fig3a_influence", |b| b.iter(|| black_box(fig3::run_a(ds))));
 
-    c.bench_function("fig3b_cascades", |b| {
-        b.iter(|| black_box(fig3::run_b(ds)))
-    });
+    c.bench_function("fig3b_cascades", |b| b.iter(|| black_box(fig3::run_b(ds))));
 
     c.bench_function("fig4_innetwork_vs_final", |b| {
         b.iter(|| black_box(fig4::run(ds)))
@@ -55,13 +51,7 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     c.bench_function("decay_wu_huberman", |b| {
-        b.iter(|| {
-            black_box(decay::run(
-                &synthesis.sim,
-                2 * digg_sim::time::DAY,
-                72,
-            ))
-        })
+        b.iter(|| black_box(decay::run(&synthesis.sim, 2 * digg_sim::time::DAY, 72)))
     });
 }
 

@@ -181,9 +181,8 @@ fn nb_cv_accuracy(ml: &MlDataset, k: usize, seed: u64) -> f64 {
 
 /// Render ABL1.
 pub fn render_feature_ablation(rows: &[FeatureRow]) -> String {
-    let mut out = String::from(
-        "ABL1: feature ablation (10-fold CV accuracy on the front-page sample)\n",
-    );
+    let mut out =
+        String::from("ABL1: feature ablation (10-fold CV accuracy on the front-page sample)\n");
     for r in rows {
         out.push_str(&format!(
             "  {:<34} n={:<4} accuracy {:.3}\n",
@@ -230,8 +229,7 @@ pub fn window_sweep(ds: &DiggDataset, threshold: u32, seed: u64) -> Vec<WindowRo
                 ));
             }
             let acc = if ml.len() >= 4 {
-                cross_validate(&ml, &C45Params::default(), 10.min(ml.len()).max(2), seed)
-                    .accuracy()
+                cross_validate(&ml, &C45Params::default(), 10.min(ml.len()).max(2), seed).accuracy()
             } else {
                 0.0
             };
@@ -246,9 +244,8 @@ pub fn window_sweep(ds: &DiggDataset, threshold: u32, seed: u64) -> Vec<WindowRo
 
 /// Render ABL3.
 pub fn render_window_sweep(rows: &[WindowRow]) -> String {
-    let mut out = String::from(
-        "ABL3: observation-window sweep (v_w + fans1, 10-fold CV accuracy)\n",
-    );
+    let mut out =
+        String::from("ABL3: observation-window sweep (v_w + fans1, 10-fold CV accuracy)\n");
     for r in rows {
         out.push_str(&format!(
             "  first {:>2} votes: n={:<4} accuracy {:.3}\n",
@@ -280,10 +277,7 @@ pub struct PromoterRow {
 /// compare front-page composition. Each run simulates `days` days.
 pub fn promotion_ablation(seed: u64, days: u64) -> Vec<PromoterRow> {
     let kinds = [
-        (
-            "threshold (pre-2006-09)",
-            scenario::june2006(seed).promoter,
-        ),
+        ("threshold (pre-2006-09)", scenario::june2006(seed).promoter),
         (
             "diversity (post-2006-09)",
             scenario::september2006(seed).promoter,
@@ -295,16 +289,11 @@ pub fn promotion_ablation(seed: u64, days: u64) -> Vec<PromoterRow> {
             let (mut cfg, pop) = scenario::june2006_small(seed);
             cfg.promoter = kind;
             let ranking = pop.ranking();
-            let top100: std::collections::HashSet<_> =
-                ranking.into_iter().take(100).collect();
+            let top100: std::collections::HashSet<_> = ranking.into_iter().take(100).collect();
             let graph = pop.graph.clone();
             let mut sim = Sim::new(cfg, pop);
             sim.run(days * DAY);
-            let promoted: Vec<_> = sim
-                .stories()
-                .iter()
-                .filter(|s| s.is_front_page())
-                .collect();
+            let promoted: Vec<_> = sim.stories().iter().filter(|s| s.is_front_page()).collect();
             let top_share = if promoted.is_empty() {
                 0.0
             } else {
@@ -449,8 +438,7 @@ pub fn epidemics_ablation(seed: u64, n: usize) -> Vec<EpidemicsRow> {
         .into_iter()
         .map(|(name, g)| {
             let mf = digg_epidemics::threshold::mean_field_threshold(&g).unwrap_or(f64::NAN);
-            let pts =
-                digg_epidemics::threshold::sweep(&mut rng, &g, &betas, 1.0, 40, 0.05);
+            let pts = digg_epidemics::threshold::sweep(&mut rng, &g, &betas, 1.0, 40, 0.05);
             EpidemicsRow {
                 graph: name,
                 mean_field: mf,
@@ -492,10 +480,7 @@ pub fn modular_cascade_ablation(seed: u64, n: usize) -> Vec<ModularCascadeRow> {
 }
 
 /// Render ABL4.
-pub fn render_epidemics(
-    thresholds: &[EpidemicsRow],
-    cascades: &[ModularCascadeRow],
-) -> String {
+pub fn render_epidemics(thresholds: &[EpidemicsRow], cascades: &[ModularCascadeRow]) -> String {
     let mut out = String::from(
         "ABL4: network structure and spreading (paper section 6 future work)\n  epidemic thresholds (SIR, gamma=1):\n",
     );

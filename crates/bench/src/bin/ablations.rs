@@ -6,9 +6,8 @@
 
 use digg_bench::ablations::{
     epidemics_ablation, feature_ablation, modular_cascade_ablation, observation_ablation,
-    promotion_ablation, render_epidemics, render_feature_ablation,
-    render_observation_ablation, render_promotion_ablation, render_window_sweep,
-    window_sweep,
+    promotion_ablation, render_epidemics, render_feature_ablation, render_observation_ablation,
+    render_promotion_ablation, render_window_sweep, window_sweep,
 };
 use digg_bench::{emit, seed_from_env, shared_synthesis};
 use digg_core::features::INTERESTINGNESS_THRESHOLD;
@@ -25,7 +24,11 @@ fn main() {
     emit("abl3_window", &render_window_sweep(&rows), &rows);
 
     let rows = observation_ablation(ds, INTERESTINGNESS_THRESHOLD, seed);
-    emit("abl5_observation", &render_observation_ablation(&rows), &rows);
+    emit(
+        "abl5_observation",
+        &render_observation_ablation(&rows),
+        &rows,
+    );
 
     if !skip_sims {
         let rows = promotion_ablation(seed, 3);

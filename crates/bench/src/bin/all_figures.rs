@@ -1,53 +1,6 @@
 //! Run every experiment in one process (one shared synthesis) and
 //! print the full reproduction report — the source of EXPERIMENTS.md.
 
-use digg_bench::{emit, shared_synthesis};
-use digg_core::experiments::{decay, fig1, fig2, fig3, fig4, fig5, intext, prediction, scatter};
-use digg_core::pipeline::PipelineConfig;
-use digg_ml::c45::C45Params;
-use digg_sim::scenario::PROMOTION_THRESHOLD;
-
 fn main() {
-    let synthesis = shared_synthesis();
-    let ds = &synthesis.dataset;
-
-    println!("=== Reproduction report: Lerman & Galstyan, WOSN'08 ===\n");
-
-    let r = fig1::run(&synthesis.sim, &fig1::Fig1Params::default());
-    emit("fig1", &r.render(), &r);
-
-    let a = fig2::run_a(ds, 16, 4000.0);
-    emit("fig2a", &a.render(), &a);
-    // The paper's Fig 2b counts activity within its scraped sample.
-    let b = fig2::run_b(ds);
-    emit("fig2b", &b.render(), &b);
-    // Supplement: activity over the whole simulated lifetime (the
-    // scale on which the paper's all-time Top Users list was built).
-    let b = fig2::run_b_sim(&synthesis.sim);
-    emit("fig2b_lifetime", &b.render(), &b);
-
-    let a = fig3::run_a(ds);
-    emit("fig3a", &a.render(), &a);
-    let b = fig3::run_b(ds);
-    emit("fig3b", &b.render(), &b);
-
-    let r = fig4::run(ds);
-    emit("fig4", &r.render(), &r);
-
-    if let Some(r) = fig5::run(ds, &C45Params::default(), 0x1e12) {
-        emit("fig5", &r.render(), &r);
-    }
-
-    if let Some(r) = prediction::run(synthesis, &PipelineConfig::default()) {
-        emit("prediction", &r.render(), &r);
-    }
-
-    let r = scatter::run(ds, 100);
-    emit("scatter", &r.render(), &r);
-
-    let r = intext::run(synthesis, PROMOTION_THRESHOLD);
-    emit("intext", &r.render(), &r);
-
-    let r = decay::run(&synthesis.sim, 2 * digg_sim::time::DAY, 72);
-    emit("decay", &r.render(), &r);
+    digg_bench::registry::main_for_all();
 }

@@ -25,8 +25,16 @@ fn main() {
 
     let m = sim.metrics();
     println!("minutes simulated      {}", m.minutes);
-    println!("submissions            {} ({:.0}/day)", m.submissions, m.submissions_per_day());
-    println!("promotions             {} ({:.1}/day)", m.promotions, m.promotions_per_day());
+    println!(
+        "submissions            {} ({:.0}/day)",
+        m.submissions,
+        m.submissions_per_day()
+    );
+    println!(
+        "promotions             {} ({:.1}/day)",
+        m.promotions,
+        m.promotions_per_day()
+    );
     println!("expirations            {}", m.expirations);
     println!(
         "votes: friends {} fp {} upcoming {} external {} (social {:.2})",
@@ -36,7 +44,10 @@ fn main() {
         m.votes_external,
         m.social_vote_fraction()
     );
-    println!("queue boundary violations {}", queue_boundary_violations(&sim));
+    println!(
+        "queue boundary violations {}",
+        queue_boundary_violations(&sim)
+    );
 
     // Distinct voters.
     let mut voters: HashSet<_> = HashSet::new();
@@ -66,7 +77,13 @@ fn main() {
     let pct = |q: f64| finals[((finals.len() - 1) as f64 * q) as usize];
     println!(
         "final votes: min {} p10 {} p25 {} p50 {} p75 {} p90 {} max {}",
-        pct(0.0), pct(0.1), pct(0.25), pct(0.5), pct(0.75), pct(0.9), pct(1.0)
+        pct(0.0),
+        pct(0.1),
+        pct(0.25),
+        pct(0.5),
+        pct(0.75),
+        pct(0.9),
+        pct(1.0)
     );
     let below500 = finals.iter().filter(|&&v| v < 500.0).count() as f64 / finals.len() as f64;
     let above1500 = finals.iter().filter(|&&v| v > 1500.0).count() as f64 / finals.len() as f64;
@@ -100,12 +117,19 @@ fn main() {
     }
     let med = |v: &mut Vec<f64>| {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        if v.is_empty() { f64::NAN } else { v[v.len() / 2] }
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v[v.len() / 2]
+        }
     };
     let (mut lo, mut hi) = (lo_in, hi_in);
     println!(
         "median final votes: v10<=3 -> {:.0} (n={})   v10>=7 -> {:.0} (n={})",
-        med(&mut lo), lo.len(), med(&mut hi), hi.len()
+        med(&mut lo),
+        lo.len(),
+        med(&mut hi),
+        hi.len()
     );
     if let Some(r) = digg_stats::correlation::spearman(&xs, &ys) {
         println!("spearman(v10, final) = {r:.3} (paper: strongly negative)");
@@ -113,9 +137,13 @@ fn main() {
 
     // Submitter fan count of promoted stories (top-user dominance).
     let top100: HashSet<_> = sim.population().ranking()[..100].iter().copied().collect();
-    let by_top = mature.iter().filter(|s| top100.contains(&s.submitter)).count();
+    let by_top = mature
+        .iter()
+        .filter(|s| top100.contains(&s.submitter))
+        .count();
     println!(
         "mature promoted by top-100 submitters: {} / {}",
-        by_top, mature.len()
+        by_top,
+        mature.len()
     );
 }

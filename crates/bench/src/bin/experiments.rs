@@ -1,0 +1,63 @@
+//! Experiment dispatcher: run any subset of the registry (or `all`)
+//! on one shared synthesis, then write `bench_summary.json`.
+//!
+//! ```text
+//! experiments [all | NAME ...] [--baseline] [--list]
+//! ```
+//!
+//! * `--list` prints the registry and exits.
+//! * `--baseline` additionally runs the seed-implementation
+//!   comparison (fig3 / scatter / intext) and records the measured
+//!   speedups in the summary.
+//!
+//! Exits non-zero when any artifact fails its validity checks (e.g.
+//! the in-text statistics report structural violations).
+
+use digg_bench::registry::{find, record_baselines, run_spec, write_bench_summary, REGISTRY};
+use digg_bench::{baseline, shared_synthesis};
+
+fn main() {
+    let mut names: Vec<String> = Vec::new();
+    let mut with_baseline = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list" => {
+                for spec in REGISTRY {
+                    println!("{:<12} {}", spec.name, spec.about);
+                }
+                return;
+            }
+            "--baseline" => with_baseline = true,
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let specs: Vec<_> = if names.is_empty() || names.iter().any(|n| n == "all") {
+        REGISTRY.iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                find(n).unwrap_or_else(|| {
+                    eprintln!("unknown experiment {n:?}; try --list");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let synthesis = shared_synthesis();
+    let mut ok = true;
+    for spec in specs {
+        ok &= run_spec(spec, synthesis);
+    }
+    if with_baseline {
+        let rows = baseline::compare(synthesis);
+        println!("{}", baseline::render(&rows));
+        record_baselines(rows);
+    }
+    write_bench_summary();
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,26 +1,6 @@
 //! Regenerate Fig. 1: vote time series of randomly chosen front-page
 //! stories (queue phase → promotion jump → saturation).
 
-use digg_bench::{emit, shared_synthesis};
-use digg_core::experiments::fig1;
-
 fn main() {
-    let synthesis = shared_synthesis();
-    let result = fig1::run(&synthesis.sim, &fig1::Fig1Params::default());
-    let mut rendered = result.render();
-    let accel = result
-        .curves
-        .iter()
-        .filter(|c| result.promotion_accelerates(c))
-        .count();
-    rendered.push_str(&format!(
-        "promotion accelerates voting on {accel}/{} sampled stories\n",
-        result.curves.len()
-    ));
-    if let Some(f) = result.mean_first_day_fraction() {
-        rendered.push_str(&format!(
-            "mean fraction of final votes within one day of promotion: {f:.2} (Wu-Huberman: interest decays with ~1-day half-life)\n"
-        ));
-    }
-    emit("fig1", &rendered, &result);
+    digg_bench::registry::main_for("fig1");
 }

@@ -1,18 +1,6 @@
 //! Regenerate Fig. 2: (a) histogram of final votes of front-page
 //! stories; (b) log-log per-user activity histograms.
 
-use digg_bench::{emit, shared_synthesis};
-use digg_core::experiments::fig2;
-
 fn main() {
-    let synthesis = shared_synthesis();
-    let ds = &synthesis.dataset;
-    let a = fig2::run_a(ds, 16, 4000.0);
-    emit("fig2a", &a.render(), &a);
-    // The paper's Fig 2b counts activity within its scraped sample.
-    let b = fig2::run_b(ds);
-    emit("fig2b", &b.render(), &b);
-    // Supplement: activity over the whole simulated lifetime.
-    let b = fig2::run_b_sim(&synthesis.sim);
-    emit("fig2b_lifetime", &b.render(), &b);
+    digg_bench::registry::main_for("fig2");
 }

@@ -1,13 +1,6 @@
 //! Regenerate Fig. 3: (a) story influence histograms; (b) cascade
 //! size histograms.
 
-use digg_bench::{emit, shared_synthesis};
-use digg_core::experiments::fig3;
-
 fn main() {
-    let ds = &shared_synthesis().dataset;
-    let a = fig3::run_a(ds);
-    emit("fig3a", &a.render(), &a);
-    let b = fig3::run_b(ds);
-    emit("fig3b", &b.render(), &b);
+    digg_bench::registry::main_for("fig3");
 }

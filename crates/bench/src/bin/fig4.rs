@@ -1,11 +1,6 @@
 //! Regenerate Fig. 4: final votes vs early in-network votes (after 6,
 //! 10 and 20 votes) — the paper's inverse relationship.
 
-use digg_bench::{emit, shared_synthesis};
-use digg_core::experiments::fig4;
-
 fn main() {
-    let ds = &shared_synthesis().dataset;
-    let result = fig4::run(ds);
-    emit("fig4", &result.render(), &result);
+    digg_bench::registry::main_for("fig4");
 }

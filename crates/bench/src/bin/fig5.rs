@@ -1,33 +1,6 @@
 //! Regenerate Fig. 5: the C4.5 tree over (v10, fans1) and its 10-fold
-//! cross-validation.
-
-use digg_bench::{emit, shared_synthesis};
-use digg_core::experiments::fig5;
-use digg_core::features::INTERESTINGNESS_THRESHOLD;
-use digg_core::predictor::InterestingnessPredictor;
-use digg_ml::c45::C45Params;
+//! cross-validation (plus `fig5.dot` when persisting results).
 
 fn main() {
-    let ds = &shared_synthesis().dataset;
-    match fig5::run(ds, &C45Params::default(), 0x1e12) {
-        Some(result) => {
-            emit("fig5", &result.render(), &result);
-            // Also write the tree as Graphviz DOT when persisting.
-            if let (Ok(dir), Some(p)) = (
-                std::env::var("DIGG_RESULTS_DIR"),
-                InterestingnessPredictor::train(
-                    &ds.front_page,
-                    &ds.network,
-                    INTERESTINGNESS_THRESHOLD,
-                    &C45Params::default(),
-                ),
-            ) {
-                let path = std::path::Path::new(&dir).join("fig5.dot");
-                if std::fs::write(&path, p.tree().to_dot()).is_ok() {
-                    eprintln!("[digg-bench] wrote {}", path.display());
-                }
-            }
-        }
-        None => eprintln!("fig5: no trainable stories in the dataset"),
-    }
+    digg_bench::registry::main_for("fig5");
 }

@@ -1,16 +1,8 @@
 //! Regenerate the §3 in-text statistics (submission rate, the 43/42
 //! promotion boundary, distinct voters, top-user concentration) and
-//! validate the dataset's structural invariants.
-
-use digg_bench::{emit, shared_synthesis};
-use digg_core::experiments::intext;
-use digg_sim::scenario::PROMOTION_THRESHOLD;
+//! validate the dataset's structural invariants (non-zero exit on any
+//! violation).
 
 fn main() {
-    let synthesis = shared_synthesis();
-    let result = intext::run(synthesis, PROMOTION_THRESHOLD);
-    emit("intext", &result.render(), &result);
-    if !result.violations.is_empty() {
-        std::process::exit(1);
-    }
+    digg_bench::registry::main_for("intext");
 }

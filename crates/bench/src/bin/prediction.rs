@@ -2,22 +2,6 @@
 //! ≥10 votes) and the precision comparison against the platform's own
 //! promotion decision.
 
-use digg_bench::{emit, shared_synthesis};
-use digg_core::experiments::prediction;
-use digg_core::pipeline::PipelineConfig;
-
 fn main() {
-    let synthesis = shared_synthesis();
-    match prediction::run(synthesis, &PipelineConfig::default()) {
-        Some(result) => {
-            let mut rendered = result.render();
-            if let Some(beats) = result.classifier_beats_digg() {
-                rendered.push_str(&format!(
-                    "classifier precision beats the promoter: {beats} (paper: yes, 0.57 vs 0.36)\n"
-                ));
-            }
-            emit("prediction", &rendered, &result);
-        }
-        None => eprintln!("prediction: empty training sample or holdout"),
-    }
+    digg_bench::registry::main_for("prediction");
 }

@@ -44,7 +44,10 @@ fn main() {
             spearman_v10: f4.spearman.unwrap_or(f64::NAN),
             cv_accuracy: f5.as_ref().map(|r| r.cv_accuracy()).unwrap_or(f64::NAN),
             cascade_half_at_10: f3.half_in_network_at_10,
-            holdout_stories: pred.as_ref().map(|p| p.pipeline.holdout_stories).unwrap_or(0),
+            holdout_stories: pred
+                .as_ref()
+                .map(|p| p.pipeline.holdout_stories)
+                .unwrap_or(0),
             digg_precision: pred.as_ref().and_then(|p| p.pipeline.digg_precision()),
             classifier_precision: pred
                 .as_ref()
@@ -56,9 +59,7 @@ fn main() {
     let mut out = String::from(
         "Seed robustness (paper targets: spearman<0, CV 0.841, cascade 0.30, clf>digg)\n",
     );
-    out.push_str(
-        "  seed   spearman  CV-acc  cascade@10  holdout  P(digg)  P(clf)  clf wins\n",
-    );
+    out.push_str("  seed   spearman  CV-acc  cascade@10  holdout  P(digg)  P(clf)  clf wins\n");
     for r in &rows {
         out.push_str(&format!(
             "  {:<6} {:>8.3}  {:>6.3}  {:>10.2}  {:>7}  {:>7}  {:>6}  {}\n",
@@ -80,7 +81,10 @@ fn main() {
     }
     let col = |f: &dyn Fn(&SeedRow) -> f64| -> (f64, f64) {
         let xs: Vec<f64> = rows.iter().map(f).filter(|x| x.is_finite()).collect();
-        (mean(&xs).unwrap_or(f64::NAN), std_dev(&xs).unwrap_or(f64::NAN))
+        (
+            mean(&xs).unwrap_or(f64::NAN),
+            std_dev(&xs).unwrap_or(f64::NAN),
+        )
     };
     let (ms, ss) = col(&|r| r.spearman_v10);
     let (mc, sc) = col(&|r| r.cv_accuracy);

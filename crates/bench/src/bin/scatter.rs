@@ -1,16 +1,6 @@
 //! Regenerate the final (unnumbered) figure: friends+1 vs fans+1
 //! scatter for all users, with the top users highlighted.
 
-use digg_bench::{emit, shared_synthesis};
-use digg_core::experiments::scatter;
-
 fn main() {
-    let ds = &shared_synthesis().dataset;
-    let result = scatter::run(ds, 100);
-    let mut rendered = result.render();
-    rendered.push_str(&format!(
-        "top users dominate the fan axis: {}\n",
-        result.top_users_dominate()
-    ));
-    emit("scatter", &rendered, &result);
+    digg_bench::registry::main_for("scatter");
 }

@@ -3,10 +3,18 @@
 //! Benchmark harness and experiment binaries for the Digg
 //! reproduction.
 //!
-//! * `src/bin/*` — one binary per paper artifact (fig1 … intext; see
-//!   DESIGN.md §4). Each prints the reproduced table/series and, when
-//!   `DIGG_RESULTS_DIR` is set, writes `<name>.txt` and `<name>.json`
-//!   there.
+//! * [`registry`] — one [`registry::ExperimentSpec`] per paper
+//!   artifact (fig1 … decay; see DESIGN.md §4): name → runner →
+//!   rendered artifacts. Each run prints the reproduced table/series,
+//!   writes `<name>.txt` / `<name>.json` when `DIGG_RESULTS_DIR` is
+//!   set, and records wall-time + stories/sec into
+//!   `bench_summary.json`.
+//! * `src/bin/*` — thin wrappers over the registry (`fig3`, …) plus
+//!   the `experiments` dispatcher (`experiments fig3 scatter`,
+//!   `experiments all --baseline`).
+//! * [`baseline`] — the pre-refactor (seed) implementations of fig3 /
+//!   scatter / intext, timed against the sweep engine and verified to
+//!   produce identical results.
 //! * `benches/*` — Criterion benches. `figures.rs` times every
 //!   analysis that regenerates a figure (on a shared synthesized
 //!   dataset); `perf.rs` times the substrates (graph ops, simulator
@@ -20,6 +28,8 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod baseline;
+pub mod registry;
 
 use digg_data::synth::{synthesize, SynthConfig, Synthesis};
 use std::io::Write;
@@ -73,11 +83,11 @@ pub fn emit<T: serde::Serialize>(name: &str, rendered: &str, payload: &T) {
         eprintln!("[digg-bench] cannot create {}: {e}", dir.display());
         return;
     }
-    let write = |path: std::path::PathBuf, data: &[u8]| {
-        match std::fs::File::create(&path).and_then(|mut f| f.write_all(data)) {
-            Ok(()) => eprintln!("[digg-bench] wrote {}", path.display()),
-            Err(e) => eprintln!("[digg-bench] cannot write {}: {e}", path.display()),
-        }
+    let write = |path: std::path::PathBuf, data: &[u8]| match std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(data))
+    {
+        Ok(()) => eprintln!("[digg-bench] wrote {}", path.display()),
+        Err(e) => eprintln!("[digg-bench] cannot write {}: {e}", path.display()),
     };
     write(dir.join(format!("{name}.txt")), rendered.as_bytes());
     match serde_json::to_vec_pretty(payload) {

@@ -1,0 +1,374 @@
+//! Experiment registry: one [`ExperimentSpec`] per paper artifact,
+//! mapping a stable name to a runner (synthesis → [`Artifact`]s) so a
+//! single dispatcher replaces the old copy-paste binaries.
+//!
+//! Every run is timed; [`write_bench_summary`] persists wall-time and
+//! stories/sec per experiment (plus any seed-baseline comparisons from
+//! [`crate::baseline`]) into `bench_summary.json`.
+
+use crate::{emit, seed_from_env, shared_synthesis};
+use digg_core::experiments::{decay, fig1, fig2, fig3, fig4, fig5, intext, prediction, scatter};
+use digg_core::features::INTERESTINGNESS_THRESHOLD;
+use digg_core::pipeline::PipelineConfig;
+use digg_core::predictor::InterestingnessPredictor;
+use digg_data::synth::Synthesis;
+use digg_ml::c45::C45Params;
+use digg_sim::scenario::PROMOTION_THRESHOLD;
+use serde::{Serialize, Value};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One emitted result: the rendering that goes to stdout/`<name>.txt`
+/// and the serialized payload that goes to `<name>.json`.
+pub struct Artifact {
+    /// File stem under `DIGG_RESULTS_DIR`.
+    pub name: String,
+    /// Human-readable rendering.
+    pub rendered: String,
+    /// Serialized payload.
+    pub payload: Value,
+    /// Whether the result passes its own validity checks (e.g. the
+    /// in-text statistics report no structural violations). A false
+    /// flag makes the dispatcher exit non-zero.
+    pub ok: bool,
+}
+
+impl Artifact {
+    /// A passing artifact.
+    pub fn new<T: Serialize>(name: &str, rendered: String, payload: &T) -> Artifact {
+        Artifact {
+            name: name.to_string(),
+            rendered,
+            payload: payload.to_value(),
+            ok: true,
+        }
+    }
+
+    /// Override the validity flag.
+    pub fn with_ok(mut self, ok: bool) -> Artifact {
+        self.ok = ok;
+        self
+    }
+}
+
+/// A named experiment: how to run it and how big its input is.
+pub struct ExperimentSpec {
+    /// Stable name (the old binary name).
+    pub name: &'static str,
+    /// One-line description for `--list`.
+    pub about: &'static str,
+    /// Input size used for the stories/sec rate: stories for the
+    /// story-level analyses, users for the scatter figure.
+    pub stories: fn(&Synthesis) -> usize,
+    /// Produce the artifacts.
+    pub run: fn(&Synthesis) -> Vec<Artifact>,
+}
+
+/// Wall-time record of one experiment run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Experiment name.
+    pub experiment: String,
+    /// Wall time of the runner in milliseconds.
+    pub wall_ms: f64,
+    /// Input size (stories; users for `scatter`).
+    pub stories: usize,
+    /// Throughput.
+    pub stories_per_sec: f64,
+}
+
+static RUNS: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
+static BASELINES: Mutex<Vec<crate::baseline::BaselineRecord>> = Mutex::new(Vec::new());
+
+/// Store seed-baseline comparison rows for the next
+/// [`write_bench_summary`].
+pub fn record_baselines(rows: Vec<crate::baseline::BaselineRecord>) {
+    BASELINES.lock().unwrap().extend(rows);
+}
+
+fn fp(s: &Synthesis) -> usize {
+    s.dataset.front_page.len()
+}
+
+fn all_records(s: &Synthesis) -> usize {
+    s.dataset.front_page.len() + s.dataset.upcoming.len()
+}
+
+fn sim_stories(s: &Synthesis) -> usize {
+    s.sim.stories().len()
+}
+
+fn run_fig1(s: &Synthesis) -> Vec<Artifact> {
+    let result = fig1::run(&s.sim, &fig1::Fig1Params::default());
+    let mut rendered = result.render();
+    let accel = result
+        .curves
+        .iter()
+        .filter(|c| result.promotion_accelerates(c))
+        .count();
+    rendered.push_str(&format!(
+        "promotion accelerates voting on {accel}/{} sampled stories\n",
+        result.curves.len()
+    ));
+    if let Some(f) = result.mean_first_day_fraction() {
+        rendered.push_str(&format!(
+            "mean fraction of final votes within one day of promotion: {f:.2} (Wu-Huberman: interest decays with ~1-day half-life)\n"
+        ));
+    }
+    vec![Artifact::new("fig1", rendered, &result)]
+}
+
+fn run_fig2(s: &Synthesis) -> Vec<Artifact> {
+    let ds = &s.dataset;
+    let a = fig2::run_a(ds, 16, 4000.0);
+    // The paper's Fig 2b counts activity within its scraped sample;
+    // the lifetime supplement covers the whole simulated history (the
+    // scale on which the paper's all-time Top Users list was built).
+    let b = fig2::run_b(ds);
+    let bl = fig2::run_b_sim(&s.sim);
+    vec![
+        Artifact::new("fig2a", a.render(), &a),
+        Artifact::new("fig2b", b.render(), &b),
+        Artifact::new("fig2b_lifetime", bl.render(), &bl),
+    ]
+}
+
+fn run_fig3(s: &Synthesis) -> Vec<Artifact> {
+    let ds = &s.dataset;
+    let a = fig3::run_a(ds);
+    let b = fig3::run_b(ds);
+    vec![
+        Artifact::new("fig3a", a.render(), &a),
+        Artifact::new("fig3b", b.render(), &b),
+    ]
+}
+
+fn run_fig4(s: &Synthesis) -> Vec<Artifact> {
+    let result = fig4::run(&s.dataset);
+    vec![Artifact::new("fig4", result.render(), &result)]
+}
+
+fn run_fig5(s: &Synthesis) -> Vec<Artifact> {
+    let ds = &s.dataset;
+    let Some(result) = fig5::run(ds, &C45Params::default(), 0x1e12) else {
+        eprintln!("fig5: no trainable stories in the dataset");
+        return vec![];
+    };
+    // Also write the tree as Graphviz DOT when persisting.
+    if let (Ok(dir), Some(p)) = (
+        std::env::var("DIGG_RESULTS_DIR"),
+        InterestingnessPredictor::train(
+            &ds.front_page,
+            &ds.network,
+            INTERESTINGNESS_THRESHOLD,
+            &C45Params::default(),
+        ),
+    ) {
+        let path = std::path::Path::new(&dir).join("fig5.dot");
+        if std::fs::write(&path, p.tree().to_dot()).is_ok() {
+            eprintln!("[digg-bench] wrote {}", path.display());
+        }
+    }
+    vec![Artifact::new("fig5", result.render(), &result)]
+}
+
+fn run_prediction(s: &Synthesis) -> Vec<Artifact> {
+    let Some(result) = prediction::run(s, &PipelineConfig::default()) else {
+        eprintln!("prediction: empty training sample or holdout");
+        return vec![];
+    };
+    let mut rendered = result.render();
+    if let Some(beats) = result.classifier_beats_digg() {
+        rendered.push_str(&format!(
+            "classifier precision beats the promoter: {beats} (paper: yes, 0.57 vs 0.36)\n"
+        ));
+    }
+    vec![Artifact::new("prediction", rendered, &result)]
+}
+
+fn run_scatter(s: &Synthesis) -> Vec<Artifact> {
+    let result = scatter::run(&s.dataset, 100);
+    let mut rendered = result.render();
+    rendered.push_str(&format!(
+        "top users dominate the fan axis: {}\n",
+        result.top_users_dominate()
+    ));
+    vec![Artifact::new("scatter", rendered, &result)]
+}
+
+fn run_intext(s: &Synthesis) -> Vec<Artifact> {
+    let result = intext::run(s, PROMOTION_THRESHOLD);
+    let ok = result.violations.is_empty();
+    vec![Artifact::new("intext", result.render(), &result).with_ok(ok)]
+}
+
+fn run_decay(s: &Synthesis) -> Vec<Artifact> {
+    let result = decay::run(&s.sim, 2 * digg_sim::time::DAY, 72);
+    vec![Artifact::new("decay", result.render(), &result)]
+}
+
+/// Every experiment, in report order.
+pub static REGISTRY: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        name: "fig1",
+        about: "vote time series of sampled front-page stories",
+        stories: sim_stories,
+        run: run_fig1,
+    },
+    ExperimentSpec {
+        name: "fig2",
+        about: "final-vote histogram and per-user activity distributions",
+        stories: all_records,
+        run: run_fig2,
+    },
+    ExperimentSpec {
+        name: "fig3",
+        about: "story influence and cascade-size histograms",
+        stories: fp,
+        run: run_fig3,
+    },
+    ExperimentSpec {
+        name: "fig4",
+        about: "final votes vs early in-network votes (inverse relationship)",
+        stories: fp,
+        run: run_fig4,
+    },
+    ExperimentSpec {
+        name: "fig5",
+        about: "C4.5 interestingness tree and cross-validation",
+        stories: fp,
+        run: run_fig5,
+    },
+    ExperimentSpec {
+        name: "prediction",
+        about: "upcoming-queue holdout precision vs the promoter",
+        stories: all_records,
+        run: run_prediction,
+    },
+    ExperimentSpec {
+        name: "scatter",
+        about: "friends vs fans scatter with top users highlighted",
+        stories: |s| s.dataset.network.user_count(),
+        run: run_scatter,
+    },
+    ExperimentSpec {
+        name: "intext",
+        about: "section-3 in-text statistics and dataset invariants",
+        stories: sim_stories,
+        run: run_intext,
+    },
+    ExperimentSpec {
+        name: "decay",
+        about: "post-promotion interest decay (Wu-Huberman half-life)",
+        stories: sim_stories,
+        run: run_decay,
+    },
+];
+
+/// Look up an experiment by name.
+pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// Run one experiment: time the runner, emit every artifact, record a
+/// [`RunRecord`]. Returns whether all artifacts passed.
+pub fn run_spec(spec: &ExperimentSpec, synthesis: &Synthesis) -> bool {
+    let t0 = Instant::now();
+    let artifacts = (spec.run)(synthesis);
+    let wall = t0.elapsed();
+    let stories = (spec.stories)(synthesis);
+    RUNS.lock().unwrap().push(RunRecord {
+        experiment: spec.name.to_string(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        stories,
+        stories_per_sec: stories as f64 / wall.as_secs_f64().max(1e-9),
+    });
+    let mut ok = true;
+    for a in &artifacts {
+        emit(&a.name, &a.rendered, &a.payload);
+        ok &= a.ok;
+    }
+    ok
+}
+
+#[derive(Serialize)]
+struct BenchSummary {
+    seed: u64,
+    threads: usize,
+    runs: Vec<RunRecord>,
+    baseline: Vec<crate::baseline::BaselineRecord>,
+}
+
+/// Write `bench_summary.json` (wall-times, throughput, baseline
+/// speedups) into `DIGG_RESULTS_DIR`, or the working directory when it
+/// is unset.
+pub fn write_bench_summary() {
+    let summary = BenchSummary {
+        seed: seed_from_env(),
+        threads: digg_core::worker_threads(),
+        runs: RUNS.lock().unwrap().clone(),
+        baseline: BASELINES.lock().unwrap().clone(),
+    };
+    let dir = std::env::var("DIGG_RESULTS_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join("bench_summary.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match serde_json::to_vec_pretty(&summary) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("[digg-bench] wrote {}", path.display()),
+            Err(e) => eprintln!("[digg-bench] cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("[digg-bench] cannot serialize bench summary: {e}"),
+    }
+}
+
+/// Entry point for the thin per-experiment binaries: run `name` on the
+/// shared synthesis, write the bench summary, and exit non-zero when
+/// an artifact fails its checks (e.g. intext violations).
+pub fn main_for(name: &str) {
+    let spec = find(name).unwrap_or_else(|| panic!("unknown experiment {name:?}"));
+    let ok = run_spec(spec, shared_synthesis());
+    write_bench_summary();
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Entry point for the full-report binary: every experiment in
+/// registry order on one shared synthesis.
+pub fn main_for_all() {
+    println!("=== Reproduction report: Lerman & Galstyan, WOSN'08 ===\n");
+    let synthesis = shared_synthesis();
+    let mut ok = true;
+    for spec in REGISTRY {
+        ok &= run_spec(spec, synthesis);
+    }
+    write_bench_summary();
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        for spec in REGISTRY {
+            assert!(std::ptr::eq(find(spec.name).unwrap(), spec));
+        }
+        let mut names: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn artifact_ok_flag_round_trips() {
+        let a = Artifact::new("t", "body".into(), &42u32);
+        assert!(a.ok);
+        assert!(!a.with_ok(false).ok);
+    }
+}

@@ -4,6 +4,7 @@
 //! many votes came from within the network — from fans of the previous
 //! voters. This is the story's cascade."
 
+use crate::story_metrics::StorySweeper;
 use social_graph::{SocialGraph, UserId};
 
 /// For each vote after the submitter's, whether it is in-network: the
@@ -31,11 +32,10 @@ use social_graph::{SocialGraph, UserId};
 /// assert_eq!(in_network_flags(&graph, &voters), vec![true, false]);
 /// ```
 pub fn in_network_flags(graph: &SocialGraph, voters: &[UserId]) -> Vec<bool> {
-    let mut flags = Vec::with_capacity(voters.len().saturating_sub(1));
-    for k in 1..voters.len() {
-        flags.push(graph.is_fan_of_any(voters[k], &voters[..k]));
-    }
-    flags
+    StorySweeper::new(graph)
+        .sweep(graph, voters)
+        .flags()
+        .to_vec()
 }
 
 /// Number of in-network votes among the first `n` votes **not
@@ -45,11 +45,9 @@ pub fn in_network_flags(graph: &SocialGraph, voters: &[UserId]) -> Vec<bool> {
 /// what they have; use [`has_enough_votes`] to filter first when the
 /// experiment requires a full window.
 pub fn in_network_count_within(graph: &SocialGraph, voters: &[UserId], n: usize) -> usize {
-    in_network_flags(graph, voters)
-        .into_iter()
-        .take(n)
-        .filter(|&f| f)
-        .count()
+    StorySweeper::new(graph)
+        .sweep(graph, voters)
+        .in_network_count_within(n)
 }
 
 /// Whether the story has at least `n` votes beyond the submitter's.
@@ -60,15 +58,10 @@ pub fn has_enough_votes(voters: &[UserId], n: usize) -> bool {
 /// Cumulative in-network counts after each vote (index `k` = after
 /// `k + 1` post-submitter votes); useful for spread profiles.
 pub fn cumulative_cascade(graph: &SocialGraph, voters: &[UserId]) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut acc = 0usize;
-    for f in in_network_flags(graph, voters) {
-        if f {
-            acc += 1;
-        }
-        out.push(acc);
-    }
-    out
+    StorySweeper::new(graph)
+        .sweep(graph, voters)
+        .cascade()
+        .to_vec()
 }
 
 /// Fraction of the first `n` post-submitter votes that are
@@ -101,7 +94,10 @@ mod tests {
         // Submitter 0; voter 1 (fan of 0: in), voter 4 (out), voter 3
         // (fan of 2 — but 2 hasn't voted: out), voter 2 (fan of 0: in).
         let voters = [UserId(0), UserId(1), UserId(4), UserId(3), UserId(2)];
-        assert_eq!(in_network_flags(&g, &voters), vec![true, false, false, true]);
+        assert_eq!(
+            in_network_flags(&g, &voters),
+            vec![true, false, false, true]
+        );
     }
 
     #[test]

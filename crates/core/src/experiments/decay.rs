@@ -35,32 +35,55 @@ pub struct DecayResult {
 /// Run the experiment over every story promoted at least
 /// `min_observation` minutes before the end of the run.
 pub fn run(sim: &Sim, min_observation: u64, horizon_hours: usize) -> DecayResult {
+    run_with(
+        sim,
+        min_observation,
+        horizon_hours,
+        crate::story_metrics::worker_threads(),
+    )
+}
+
+/// [`run`] with an explicit worker-thread count: per-story vote scans
+/// fan out, aggregates are merged in story order.
+pub fn run_with(
+    sim: &Sim,
+    min_observation: u64,
+    horizon_hours: usize,
+    threads: usize,
+) -> DecayResult {
     let now = sim.now();
-    let mut half_lives = Vec::new();
-    let mut hourly = vec![0u64; horizon_hours];
-    let mut stories = 0usize;
-    for s in sim.stories() {
+    // Per promoted story: its half-life (when defined) and the
+    // post-promotion vote offsets in minutes.
+    let per_story = crate::story_metrics::par_map(sim.stories(), threads, |s| {
         let StoryStatus::FrontPage(promoted) = s.status else {
-            continue;
+            return None;
         };
         if now.since(promoted) < min_observation {
-            continue;
+            return None;
         }
-        stories += 1;
-        // Post-promotion votes only.
         let post: Vec<u64> = s
             .votes
             .iter()
             .filter(|v| v.at > promoted)
             .map(|v| v.at.since(promoted))
             .collect();
-        if post.len() >= 4 {
+        let half_life = if post.len() >= 4 {
             // Time to accumulate half of the post-promotion votes.
             let mut sorted = post.clone();
             sorted.sort_unstable();
             let half_idx = sorted.len().div_ceil(2) - 1;
-            half_lives.push(sorted[half_idx] as f64);
-        }
+            Some(sorted[half_idx] as f64)
+        } else {
+            None
+        };
+        Some((half_life, post))
+    });
+    let mut half_lives = Vec::new();
+    let mut hourly = vec![0u64; horizon_hours];
+    let mut stories = 0usize;
+    for (half_life, post) in per_story.into_iter().flatten() {
+        stories += 1;
+        half_lives.extend(half_life);
         for dt in post {
             let h = (dt / 60) as usize;
             if h < horizon_hours {
@@ -152,10 +175,7 @@ mod tests {
         // with tau = 600 min).
         let early: f64 = r.hourly_rate[..3].iter().sum();
         let late: f64 = r.hourly_rate[10..13].iter().sum();
-        assert!(
-            early > late,
-            "no decay: early {early:.2} vs late {late:.2}"
-        );
+        assert!(early > late, "no decay: early {early:.2} vs late {late:.2}");
     }
 
     #[test]

@@ -24,14 +24,20 @@ pub struct StoryCurve {
     pub promoted_after: u64,
     /// Cumulative votes sampled every `step` minutes.
     pub values: Vec<u64>,
-    /// Sampling step (minutes).
-    pub step: f64,
+    /// Sampling step (minutes). Stored as the integer it is produced
+    /// from ([`Fig1Params::step`]) so sample indexing is exact.
+    pub step: u64,
 }
 
 impl StoryCurve {
+    /// Index of the sample taken at or immediately after minute `t`.
+    fn index_at(&self, t: u64) -> usize {
+        (t / self.step.max(1)) as usize
+    }
+
     /// Vote count at promotion time.
     pub fn votes_at_promotion(&self) -> u64 {
-        let idx = (self.promoted_after as f64 / self.step) as usize;
+        let idx = self.index_at(self.promoted_after);
         self.values
             .get(idx)
             .copied()
@@ -78,8 +84,7 @@ pub fn run(sim: &Sim, params: &Fig1Params) -> Fig1Result {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let now = sim.now();
     let eligible = sim.stories().iter().filter(|s| {
-        matches!(s.status, StoryStatus::FrontPage(_))
-            && now.since(s.submitted_at) >= params.horizon
+        matches!(s.status, StoryStatus::FrontPage(_)) && now.since(s.submitted_at) >= params.horizon
     });
     let sample = reservoir(&mut rng, eligible, params.stories);
     let curves = sample
@@ -100,7 +105,7 @@ pub fn run(sim: &Sim, params: &Fig1Params) -> Fig1Result {
                 story: s.id.0,
                 promoted_after,
                 values: series.values,
-                step: params.step as f64,
+                step: params.step,
             }
         })
         .collect();
@@ -114,16 +119,16 @@ impl Fig1Result {
     /// The shape checks the paper describes: the post-promotion vote
     /// rate exceeds the queue-phase rate for the given curve.
     pub fn promotion_accelerates(&self, curve: &StoryCurve) -> bool {
-        let idx = (curve.promoted_after as f64 / curve.step) as usize;
+        let idx = curve.index_at(curve.promoted_after);
         if idx == 0 || idx + 1 >= curve.values.len() {
             return false;
         }
         let pre_rate = curve.values[idx] as f64 / curve.promoted_after.max(1) as f64;
         // Rate over the 6 hours after promotion.
-        let post_window = ((6 * 60) as f64 / curve.step) as usize;
+        let post_window = (6 * 60 / curve.step.max(1)) as usize;
         let end = (idx + post_window).min(curve.values.len() - 1);
         let post_votes = curve.values[end] - curve.values[idx];
-        let post_rate = post_votes as f64 / ((end - idx) as f64 * curve.step).max(1.0);
+        let post_rate = post_votes as f64 / ((end - idx) as u64 * curve.step).max(1) as f64;
         post_rate > pre_rate
     }
 
@@ -158,7 +163,7 @@ impl Fig1Result {
             if fin == 0.0 {
                 continue;
             }
-            let idx = ((c.promoted_after + DAY) as f64 / c.step) as usize;
+            let idx = c.index_at(c.promoted_after + DAY);
             let at = c.values.get(idx).copied().unwrap_or(*c.values.last()?) as f64;
             fractions.push(at / fin);
         }
@@ -214,14 +219,14 @@ mod tests {
             story: 1,
             promoted_after: 200,
             values: values.clone(),
-            step: 20.0,
+            step: 20,
         };
         // Flat curve: same rate throughout.
         let flat = StoryCurve {
             story: 2,
             promoted_after: 200,
             values: (1..=60).collect(),
-            step: 20.0,
+            step: 20,
         };
         let r = Fig1Result {
             curves: vec![fast.clone(), flat.clone()],

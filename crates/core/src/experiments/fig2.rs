@@ -7,6 +7,7 @@
 //! and voted on, over the scraped sample. Paper: both heavy-tailed,
 //! submissions steeper than votes.
 
+use crate::story_metrics::{par_fold, worker_threads};
 use digg_data::DiggDataset;
 use digg_stats::descriptive::{fraction_above, fraction_below};
 use digg_stats::histogram::{integer_counts, Histogram};
@@ -63,19 +64,36 @@ pub fn run_a(ds: &DiggDataset, bins: usize, max: f64) -> Fig2aResult {
     }
 }
 
-/// Run Fig. 2(b) over all scraped records (front page + upcoming, as
-/// the paper counted activity over its sample).
-pub fn run_b(ds: &DiggDataset) -> Fig2bResult {
-    let mut submissions: HashMap<u32, u64> = HashMap::new();
-    let mut votes: HashMap<u32, u64> = HashMap::new();
-    for r in ds.all_records() {
-        *submissions.entry(r.submitter.0).or_insert(0) += 1;
-        // Post-submitter voters (the submitter's implicit vote counts
-        // as a submission, not a vote, in the paper's Fig. 2b).
-        for v in r.voters.iter().skip(1) {
-            *votes.entry(v.0).or_insert(0) += 1;
-        }
-    }
+/// Per-user `(submissions, votes)` tallies, accumulated across worker
+/// threads. Counter addition commutes, so the merged tallies are
+/// thread-count independent by construction.
+type Activity = (HashMap<u32, u64>, HashMap<u32, u64>);
+
+/// Fan per-story activity counting out over `threads` workers, with
+/// `record` charging one story to the accumulator.
+fn count_activity<T: Sync>(
+    items: &[T],
+    threads: usize,
+    record: impl Fn(&mut Activity, &T) + Sync,
+) -> Activity {
+    par_fold(
+        items,
+        threads,
+        || (HashMap::new(), HashMap::new()),
+        record,
+        |acc, part| {
+            for (u, c) in part.0 {
+                *acc.0.entry(u).or_insert(0) += c;
+            }
+            for (u, c) in part.1 {
+                *acc.1.entry(u).or_insert(0) += c;
+            }
+        },
+    )
+}
+
+/// Assemble the figure from the per-user tallies.
+fn result_from((submissions, votes): Activity) -> Fig2bResult {
     let sub_counts: Vec<u64> = submissions.values().copied().collect();
     let vote_counts: Vec<u64> = votes.values().copied().collect();
     let single = if vote_counts.is_empty() {
@@ -91,33 +109,46 @@ pub fn run_b(ds: &DiggDataset) -> Fig2bResult {
     }
 }
 
+/// Run Fig. 2(b) over all scraped records (front page + upcoming, as
+/// the paper counted activity over its sample).
+pub fn run_b(ds: &DiggDataset) -> Fig2bResult {
+    run_b_with(ds, worker_threads())
+}
+
+/// [`run_b`] with an explicit worker-thread count.
+pub fn run_b_with(ds: &DiggDataset, threads: usize) -> Fig2bResult {
+    let records: Vec<_> = ds.all_records().collect();
+    result_from(count_activity(&records, threads, |(subs, votes), r| {
+        *subs.entry(r.submitter.0).or_insert(0) += 1;
+        // Post-submitter voters (the submitter's implicit vote counts
+        // as a submission, not a vote, in the paper's Fig. 2b).
+        for v in r.voters.iter().skip(1) {
+            *votes.entry(v.0).or_insert(0) += 1;
+        }
+    }))
+}
+
 /// Fig. 2(b) over the full simulation record instead of the scraped
 /// sample. The paper's activity plot spans the site's lifetime (its
 /// Top Users list counted all 15,000+ front-page submissions ever
 /// made); the few-day scraped window alone caps per-user counts at a
 /// handful.
 pub fn run_b_sim(sim: &digg_sim::Sim) -> Fig2bResult {
-    let mut submissions: HashMap<u32, u64> = HashMap::new();
-    let mut votes: HashMap<u32, u64> = HashMap::new();
-    for s in sim.stories() {
-        *submissions.entry(s.submitter.0).or_insert(0) += 1;
-        for v in s.votes.iter().skip(1) {
-            *votes.entry(v.user.0).or_insert(0) += 1;
-        }
-    }
-    let sub_counts: Vec<u64> = submissions.values().copied().collect();
-    let vote_counts: Vec<u64> = votes.values().copied().collect();
-    let single = if vote_counts.is_empty() {
-        0.0
-    } else {
-        vote_counts.iter().filter(|&&c| c == 1).count() as f64 / vote_counts.len() as f64
-    };
-    Fig2bResult {
-        submissions: integer_counts(&sub_counts).into_iter().collect(),
-        votes: integer_counts(&vote_counts).into_iter().collect(),
-        single_vote_users: single,
-        max_votes_by_user: vote_counts.iter().copied().max().unwrap_or(0),
-    }
+    run_b_sim_with(sim, worker_threads())
+}
+
+/// [`run_b_sim`] with an explicit worker-thread count.
+pub fn run_b_sim_with(sim: &digg_sim::Sim, threads: usize) -> Fig2bResult {
+    result_from(count_activity(
+        sim.stories(),
+        threads,
+        |(subs, votes), s| {
+            *subs.entry(s.submitter.0).or_insert(0) += 1;
+            for v in s.votes.iter().skip(1) {
+                *votes.entry(v.user.0).or_insert(0) += 1;
+            }
+        },
+    ))
 }
 
 impl Fig2aResult {
@@ -127,7 +158,13 @@ impl Fig2aResult {
             "Fig 2a: final votes of {} front-page stories\n  <500: {:.2} (paper ~0.20)   >1500: {:.2} (paper ~0.20)   max: {}\n",
             self.stories, self.below_500, self.above_1500, self.max_votes
         );
-        let max_count = self.series.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+        let max_count = self
+            .series
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(1)
+            .max(1);
         for &(center, count) in &self.series {
             let bar = "#".repeat((count as f64 / max_count as f64 * 40.0).round() as usize);
             out.push_str(&format!("  {:>6.0} |{:<40}| {}\n", center, bar, count));
@@ -228,8 +265,7 @@ mod tests {
         assert_eq!(r.submissions, vec![(1, 3), (2, 1)]);
         // Voters (excluding submitter-first votes): 2 voted 4x,
         // 3,4,7 once each... plus 2 in upcoming.
-        let votes: std::collections::HashMap<u64, u64> =
-            r.votes.iter().copied().collect();
+        let votes: std::collections::HashMap<u64, u64> = r.votes.iter().copied().collect();
         assert_eq!(votes[&1], 3); // users 3, 4, 7
         assert_eq!(votes[&4], 1); // user 2
         assert_eq!(r.max_votes_by_user, 4);

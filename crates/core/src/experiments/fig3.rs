@@ -12,8 +12,7 @@
 //! least half of their first 10 votes in-network; 28% have ≥10
 //! in-network within 20 votes; 36% have ≥10 within 30.
 
-use crate::cascade::in_network_count_within;
-use crate::influence::influence_after;
+use crate::story_metrics::{sweep_map, worker_threads};
 use digg_data::DiggDataset;
 use digg_stats::histogram::Histogram;
 use serde::{Deserialize, Serialize};
@@ -83,15 +82,32 @@ pub struct Fig3bResult {
 
 /// Run Fig. 3(a) over the front-page sample.
 pub fn run_a(ds: &DiggDataset) -> Fig3aResult {
+    run_a_with(ds, worker_threads())
+}
+
+/// [`run_a`] with an explicit worker-thread count. One sweep per story
+/// yields all three influence checkpoints (the trajectory is a prefix
+/// property, so later voters cannot change an earlier checkpoint).
+pub fn run_a_with(ds: &DiggDataset, threads: usize) -> Fig3aResult {
     let g = &ds.network;
-    let mut at_submission = Vec::new();
-    let mut after_10 = Vec::new();
-    let mut after_20 = Vec::new();
-    for r in &ds.front_page {
-        at_submission.push(influence_after(g, &r.voters, 1) as u64);
+    let rows = sweep_map(g, &ds.front_page, threads, |sw, r| {
+        // Checkpoints are prefix properties: voters beyond the last
+        // checkpoint (submitter + 20) cannot change them.
+        let s = sw.sweep(g, &r.voters[..r.voters.len().min(21)]);
         // Paper counts "after it received ten votes": submitter + 10.
-        after_10.push(influence_after(g, &r.voters, 11) as u64);
-        after_20.push(influence_after(g, &r.voters, 21) as u64);
+        (
+            s.influence_after(1) as u64,
+            s.influence_after(11) as u64,
+            s.influence_after(21) as u64,
+        )
+    });
+    let mut at_submission = Vec::with_capacity(rows.len());
+    let mut after_10 = Vec::with_capacity(rows.len());
+    let mut after_20 = Vec::with_capacity(rows.len());
+    for (a, b, c) in rows {
+        at_submission.push(a);
+        after_10.push(b);
+        after_20.push(c);
     }
     let poorly = if ds.front_page.is_empty() {
         0.0
@@ -117,16 +133,34 @@ pub fn run_a(ds: &DiggDataset) -> Fig3aResult {
 
 /// Run Fig. 3(b) over the front-page sample.
 pub fn run_b(ds: &DiggDataset) -> Fig3bResult {
+    run_b_with(ds, worker_threads())
+}
+
+/// [`run_b`] with an explicit worker-thread count. One sweep per story
+/// yields all three cascade windows.
+pub fn run_b_with(ds: &DiggDataset, threads: usize) -> Fig3bResult {
     let g = &ds.network;
-    let cascade_at = |n: usize| -> Vec<u64> {
-        ds.front_page
-            .iter()
-            .map(|r| in_network_count_within(g, &r.voters, n) as u64)
-            .collect()
-    };
-    let c10 = Checkpoint::new("after 10 votes", cascade_at(10), 0.0, 26.0, 26);
-    let c20 = Checkpoint::new("after 20 votes", cascade_at(20), 0.0, 26.0, 26);
-    let c30 = Checkpoint::new("after 30 votes", cascade_at(30), 0.0, 26.0, 26);
+    let rows = sweep_map(g, &ds.front_page, threads, |sw, r| {
+        // In-network flags only look backwards: the first 30
+        // post-submitter votes are decided by voters[..31].
+        let s = sw.sweep(g, &r.voters[..r.voters.len().min(31)]);
+        (
+            s.in_network_count_within(10) as u64,
+            s.in_network_count_within(20) as u64,
+            s.in_network_count_within(30) as u64,
+        )
+    });
+    let mut at_10 = Vec::with_capacity(rows.len());
+    let mut at_20 = Vec::with_capacity(rows.len());
+    let mut at_30 = Vec::with_capacity(rows.len());
+    for (a, b, c) in rows {
+        at_10.push(a);
+        at_20.push(b);
+        at_30.push(c);
+    }
+    let c10 = Checkpoint::new("after 10 votes", at_10, 0.0, 26.0, 26);
+    let c20 = Checkpoint::new("after 20 votes", at_20, 0.0, 26.0, 26);
+    let c30 = Checkpoint::new("after 30 votes", at_30, 0.0, 26.0, 26);
     let half10 = c10.fraction_at_least(5);
     let ten20 = c20.fraction_at_least(10);
     let ten30 = c30.fraction_at_least(10);
@@ -148,7 +182,10 @@ fn render_checkpoints(checkpoints: &[Checkpoint], width: usize) -> String {
                 continue;
             }
             let bar = "#".repeat((count as f64 / max as f64 * width as f64).round() as usize);
-            out.push_str(&format!("    {:>6.0} |{:<width$}| {}\n", center, bar, count));
+            out.push_str(&format!(
+                "    {:>6.0} |{:<width$}| {}\n",
+                center, bar, count
+            ));
         }
     }
     out

@@ -8,6 +8,7 @@
 //! votes … already visible … within the first 6-10 votes".
 
 use crate::cascade::{has_enough_votes, in_network_count_within};
+use crate::story_metrics::{sweep_map, worker_threads};
 use digg_data::DiggDataset;
 use digg_stats::binstats::{GroupRow, GroupedSummary};
 use digg_stats::correlation::spearman;
@@ -62,7 +63,12 @@ pub struct Fig4Result {
     pub panels: Vec<Panel>,
 }
 
-/// Run one panel.
+/// The windows of the paper's three panels.
+const WINDOWS: [usize; 3] = [6, 10, 20];
+
+/// Run one panel. Single-window callers (e.g. the robustness sweep)
+/// use this; [`run`] computes all three windows from one sweep per
+/// story instead.
 pub fn run_panel(ds: &DiggDataset, window: usize) -> Panel {
     let g = &ds.network;
     let mut grouped = GroupedSummary::new();
@@ -88,9 +94,50 @@ pub fn run_panel(ds: &DiggDataset, window: usize) -> Panel {
 
 /// Run all three panels (6, 10, 20) — the paper's figure.
 pub fn run(ds: &DiggDataset) -> Fig4Result {
-    Fig4Result {
-        panels: [6, 10, 20].iter().map(|&w| run_panel(ds, w)).collect(),
-    }
+    run_with(ds, worker_threads())
+}
+
+/// [`run`] with an explicit worker-thread count: one sweep per story
+/// supplies every window's in-network count.
+pub fn run_with(ds: &DiggDataset, threads: usize) -> Fig4Result {
+    let g = &ds.network;
+    let per_story = sweep_map(g, &ds.front_page, threads, |sw, r| {
+        // The widest window is 20 post-submitter votes, so sweeping
+        // voters[..21] decides every panel.
+        let s = sw.sweep(g, &r.voters[..r.voters.len().min(21)]);
+        (
+            r.voters.len(),
+            WINDOWS.map(|w| s.in_network_count_within(w) as u64),
+            r.final_votes,
+        )
+    });
+    let panels = WINDOWS
+        .iter()
+        .enumerate()
+        .map(|(i, &window)| {
+            let mut grouped = GroupedSummary::new();
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for &(voters, counts, fin) in &per_story {
+                // has_enough_votes: more voters than the window
+                // (submitter included in the list, not the window).
+                if voters <= window {
+                    continue;
+                }
+                let Some(fin) = fin else { continue };
+                grouped.add(counts[i], f64::from(fin));
+                xs.push(counts[i] as f64);
+                ys.push(f64::from(fin));
+            }
+            Panel {
+                window,
+                stories: xs.len(),
+                rows: grouped.rows().into_iter().map(PanelRow::from).collect(),
+                spearman: spearman(&xs, &ys),
+            }
+        })
+        .collect();
+    Fig4Result { panels }
 }
 
 impl Panel {
@@ -223,6 +270,21 @@ mod tests {
         assert_eq!(r.panels[0].stories, 8);
         assert_eq!(r.panels[1].stories, 8);
         assert_eq!(r.panels[2].stories, 8);
+    }
+
+    #[test]
+    fn run_matches_per_panel_runs_at_any_thread_count() {
+        let d = ds();
+        for threads in [1, 2, 8] {
+            let r = run_with(&d, threads);
+            for (p, &w) in r.panels.iter().zip(WINDOWS.iter()) {
+                let single = run_panel(&d, w);
+                assert_eq!(p.window, single.window);
+                assert_eq!(p.stories, single.stories);
+                assert_eq!(p.rows, single.rows);
+                assert_eq!(p.spearman, single.spearman);
+            }
+        }
     }
 
     #[test]

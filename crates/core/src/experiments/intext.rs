@@ -53,6 +53,16 @@ pub struct InTextResult {
 
 /// Run the experiment.
 pub fn run(synthesis: &Synthesis, promotion_threshold: usize) -> InTextResult {
+    run_with(
+        synthesis,
+        promotion_threshold,
+        crate::story_metrics::worker_threads(),
+    )
+}
+
+/// [`run`] with an explicit worker-thread count (per-story ground
+/// truth scans fan out; every aggregate is merged in story order).
+pub fn run_with(synthesis: &Synthesis, promotion_threshold: usize, threads: usize) -> InTextResult {
     let ds = &synthesis.dataset;
     let m = synthesis.sim.metrics();
     let min_fp = ds
@@ -67,16 +77,14 @@ pub fn run(synthesis: &Synthesis, promotion_threshold: usize) -> InTextResult {
         .map(|r| r.voters.len())
         .max()
         .unwrap_or(0);
-    let min_at_promotion = synthesis
-        .sim
-        .stories()
-        .iter()
-        .filter_map(|s| {
-            let t = s.promoted_at()?;
-            Some(s.votes.iter().filter(|v| v.at <= t).count())
-        })
-        .min()
-        .unwrap_or(0);
+    let min_at_promotion = crate::story_metrics::par_map(synthesis.sim.stories(), threads, |s| {
+        let t = s.promoted_at()?;
+        Some(s.votes.iter().filter(|v| v.at <= t).count())
+    })
+    .into_iter()
+    .flatten()
+    .min()
+    .unwrap_or(0);
 
     // Top-1000 concentration: submissions on the front page by the
     // top-1000 ranked users, share held by the top 3% (top 30).
@@ -89,10 +97,7 @@ pub fn run(synthesis: &Synthesis, promotion_threshold: usize) -> InTextResult {
     }
     let top1000: Vec<u32> = ds.top_users.iter().take(1000).map(|u| u.0).collect();
     let top30: std::collections::HashSet<u32> = top1000.iter().take(30).copied().collect();
-    let total_by_top1000: usize = top1000
-        .iter()
-        .filter_map(|u| sub_counts.get(u))
-        .sum();
+    let total_by_top1000: usize = top1000.iter().filter_map(|u| sub_counts.get(u)).sum();
     let by_top30: usize = top30.iter().filter_map(|u| sub_counts.get(u)).sum();
     let top3_share = if total_by_top1000 == 0 {
         0.0
@@ -120,8 +125,7 @@ pub fn run(synthesis: &Synthesis, promotion_threshold: usize) -> InTextResult {
             .iter()
             .map(|&v| if pred(v) { 1.0 } else { 0.0 })
             .collect();
-        digg_stats::bootstrap::fraction_ci(&mut rng, &ind, 1000, 0.95)
-            .map(|i| (i.lo, i.hi))
+        digg_stats::bootstrap::fraction_ci(&mut rng, &ind, 1000, 0.95).map(|i| (i.lo, i.hi))
     };
     let below_500_ci = ci(&|v| v < 500.0);
     let above_1500_ci = ci(&|v| v > 1500.0);
@@ -210,7 +214,11 @@ mod tests {
         let synthesis = synthesize_with(&cfg, sim_cfg, pop);
         let r = run(&synthesis, 10); // toy promotion threshold
         assert!(r.submissions_per_minute > 0.0);
-        assert!(r.min_front_page_votes >= 10, "boundary: {}", r.min_front_page_votes);
+        assert!(
+            r.min_front_page_votes >= 10,
+            "boundary: {}",
+            r.min_front_page_votes
+        );
         assert!(r.max_upcoming_votes < 10);
         assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
         assert!(r.distinct_voters > 0);

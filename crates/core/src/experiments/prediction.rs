@@ -66,8 +66,8 @@ pub fn run(synthesis: &Synthesis, cfg: &PipelineConfig) -> Option<PredictionResu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use digg_data::synth::{synthesize_with, SynthConfig};
     use digg_data::scrape::ScrapeConfig;
+    use digg_data::synth::{synthesize_with, SynthConfig};
     use digg_sim::population::{Population, PopulationConfig};
     use digg_sim::time::DAY;
     use digg_sim::SimConfig;

@@ -5,11 +5,12 @@
 //! and the top users occupy the upper-right corner (more friends *and*
 //! more fans than the population at large).
 
+use crate::story_metrics::{par_map, worker_threads};
 use digg_data::DiggDataset;
 use digg_stats::correlation::spearman;
 use digg_stats::fit::{fit_best_xmin, PowerLawFit};
 use serde::{Deserialize, Serialize};
-use social_graph::metrics::{fan_counts, friends_fans_scatter};
+use social_graph::UserId;
 
 /// The figure's data.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -55,22 +56,27 @@ impl From<PowerLawFit> for SerializableFit {
 /// Run the experiment over the scraped network, marking the first
 /// `top_k` ranked users as "top".
 pub fn run(ds: &DiggDataset, top_k: usize) -> ScatterResult {
+    run_with(ds, top_k, worker_threads())
+}
+
+/// [`run`] with an explicit worker-thread count: per-user degree
+/// lookups fan out in user-id order, matching
+/// [`social_graph::metrics::friends_fans_scatter`] exactly.
+pub fn run_with(ds: &DiggDataset, top_k: usize, threads: usize) -> ScatterResult {
     let g = &ds.network;
-    let all_users = friends_fans_scatter(g);
+    let ids: Vec<UserId> = g.users().collect();
+    let all_users: Vec<(f64, f64)> = par_map(&ids, threads, |&u| {
+        (g.friend_count(u) as f64 + 1.0, g.fan_count(u) as f64 + 1.0)
+    });
+    let fans: Vec<u64> = par_map(&ids, threads, |&u| g.fan_count(u) as u64);
     let top: Vec<(f64, f64)> = ds
         .top_users
         .iter()
         .take(top_k)
-        .map(|&u| {
-            (
-                g.friend_count(u) as f64 + 1.0,
-                g.fan_count(u) as f64 + 1.0,
-            )
-        })
+        .map(|&u| (g.friend_count(u) as f64 + 1.0, g.fan_count(u) as f64 + 1.0))
         .collect();
     let xs: Vec<f64> = all_users.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = all_users.iter().map(|p| p.1).collect();
-    let fans = fan_counts(g);
     let fan_tail = fit_best_xmin(&fans, &[2, 3, 5, 10, 20]).map(Into::into);
     let median = |v: &[(f64, f64)]| {
         let fans: Vec<f64> = v.iter().map(|p| p.1).collect();

@@ -5,7 +5,8 @@
 //! (fans1) and a boolean attribute indicating whether the story was
 //! interesting … if it received more than 520 votes."
 
-use crate::cascade::{has_enough_votes, in_network_count_within};
+use crate::cascade::has_enough_votes;
+use crate::story_metrics::StorySweeper;
 use digg_data::StoryRecord;
 use digg_ml::{Instance, MlDataset};
 use serde::{Deserialize, Serialize};
@@ -37,13 +38,26 @@ impl StoryFeatures {
     /// 10 post-submitter votes — the paper's minimum observation
     /// window for `v10`.
     pub fn extract(record: &StoryRecord, graph: &SocialGraph) -> Option<StoryFeatures> {
+        StoryFeatures::extract_with(&mut StorySweeper::new(graph), record, graph)
+    }
+
+    /// [`StoryFeatures::extract`] reusing a caller-owned sweeper — the
+    /// batch path: one voter walk per story, no per-story allocation.
+    pub fn extract_with(
+        sweeper: &mut StorySweeper,
+        record: &StoryRecord,
+        graph: &SocialGraph,
+    ) -> Option<StoryFeatures> {
         if !has_enough_votes(&record.voters, 10) {
             return None;
         }
+        // v20 is decided by the first 20 post-submitter votes, so the
+        // sweep never needs to walk past voters[..21].
+        let sweep = sweeper.sweep(graph, &record.voters[..record.voters.len().min(21)]);
         Some(StoryFeatures {
-            v6: in_network_count_within(graph, &record.voters, 6),
-            v10: in_network_count_within(graph, &record.voters, 10),
-            v20: in_network_count_within(graph, &record.voters, 20),
+            v6: sweep.in_network_count_within(6),
+            v10: sweep.in_network_count_within(10),
+            v20: sweep.in_network_count_within(20),
             fans1: graph.fan_count(record.submitter),
             scraped_votes: record.voters.len(),
         })
@@ -86,12 +100,30 @@ pub fn build_training_set(
     graph: &SocialGraph,
     threshold: u32,
 ) -> (MlDataset, Vec<usize>) {
+    build_training_set_with(
+        records,
+        graph,
+        threshold,
+        crate::story_metrics::worker_threads(),
+    )
+}
+
+/// [`build_training_set`] with an explicit worker-thread count:
+/// feature extraction (the sweep) fans out; table assembly stays in
+/// record order, so the dataset is identical at any thread count.
+pub fn build_training_set_with(
+    records: &[StoryRecord],
+    graph: &SocialGraph,
+    threshold: u32,
+    threads: usize,
+) -> (MlDataset, Vec<usize>) {
+    let features = crate::story_metrics::sweep_map(graph, records, threads, |sweeper, r| {
+        StoryFeatures::extract_with(sweeper, r, graph)
+    });
     let mut ds = MlDataset::new(StoryFeatures::attribute_names());
     let mut kept = Vec::new();
-    for (i, r) in records.iter().enumerate() {
-        let Some(f) = StoryFeatures::extract(r, graph) else {
-            continue;
-        };
+    for (i, (r, f)) in records.iter().zip(features).enumerate() {
+        let Some(f) = f else { continue };
         let Some(label) = r.is_interesting(threshold) else {
             continue;
         };
@@ -165,10 +197,10 @@ mod tests {
     fn training_set_filters_and_labels() {
         let g = graph();
         let records = vec![
-            record(15, Some(600)),  // kept, interesting
-            record(15, Some(100)),  // kept, not interesting
-            record(5, Some(999)),   // too few votes
-            record(15, None),       // unaugmented
+            record(15, Some(600)), // kept, interesting
+            record(15, Some(100)), // kept, not interesting
+            record(5, Some(999)),  // too few votes
+            record(15, None),      // unaugmented
         ];
         let (ds, kept) = build_training_set(&records, &g, INTERESTINGNESS_THRESHOLD);
         assert_eq!(ds.len(), 2);

@@ -5,8 +5,8 @@
 //! submitter and of everyone who has voted so far. Fig. 3(a) plots its
 //! histogram at submission, after 10 votes and after 20 votes.
 
+use crate::story_metrics::StorySweeper;
 use social_graph::{SocialGraph, UserId};
-use std::collections::HashSet;
 
 /// Number of users who can see the story through the Friends
 /// interface after the first `k` voters (`k = 1` means just the
@@ -17,14 +17,9 @@ use std::collections::HashSet;
 /// `k` is clamped to the voter-list length.
 pub fn influence_after(graph: &SocialGraph, voters: &[UserId], k: usize) -> usize {
     let k = k.min(voters.len());
-    let mut audience: HashSet<UserId> = HashSet::new();
-    for &v in &voters[..k] {
-        audience.extend(graph.fans(v).iter().copied());
-    }
-    for &v in &voters[..k] {
-        audience.remove(&v);
-    }
-    audience.len()
+    StorySweeper::new(graph)
+        .sweep(graph, &voters[..k])
+        .influence_after(k)
 }
 
 /// Influence at submission (fans of the submitter only — the paper's
@@ -38,20 +33,10 @@ pub fn influence_at_submission(graph: &SocialGraph, voters: &[UserId]) -> usize 
 /// (index `k` = after `k + 1` voters). Equals
 /// [`influence_after`] at each prefix, computed incrementally.
 pub fn influence_trajectory(graph: &SocialGraph, voters: &[UserId]) -> Vec<usize> {
-    let mut voted: HashSet<UserId> = HashSet::new();
-    let mut audience: HashSet<UserId> = HashSet::new();
-    let mut out = Vec::with_capacity(voters.len());
-    for &v in voters {
-        voted.insert(v);
-        audience.remove(&v);
-        for &f in graph.fans(v) {
-            if !voted.contains(&f) {
-                audience.insert(f);
-            }
-        }
-        out.push(audience.len());
-    }
-    out
+    StorySweeper::new(graph)
+        .sweep(graph, voters)
+        .influence()
+        .to_vec()
 }
 
 #[cfg(test)]
@@ -104,7 +89,10 @@ mod tests {
     fn k_clamps_to_list_length() {
         let g = graph();
         let voters = [UserId(0)];
-        assert_eq!(influence_after(&g, &voters, 10), influence_after(&g, &voters, 1));
+        assert_eq!(
+            influence_after(&g, &voters, 10),
+            influence_after(&g, &voters, 1)
+        );
         assert_eq!(influence_after(&g, &[], 5), 0);
     }
 

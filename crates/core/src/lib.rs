@@ -26,6 +26,8 @@
 //!
 //! Modules:
 //!
+//! * [`story_metrics`] — the single-pass sweep engine every other
+//!   analysis module and experiment routes through.
 //! * [`cascade`] — in-network vote analysis.
 //! * [`influence`] — Friends-interface visibility.
 //! * [`features`] — `(v6, v10, v20, fans1)` extraction, dataset
@@ -49,7 +51,9 @@ pub mod influence;
 pub mod pipeline;
 pub mod predictor;
 pub mod spread;
+pub mod story_metrics;
 
 pub use cascade::{in_network_count_within, in_network_flags};
 pub use features::{StoryFeatures, INTERESTINGNESS_THRESHOLD};
 pub use predictor::InterestingnessPredictor;
+pub use story_metrics::{par_fold, par_map, sweep_map, worker_threads, StorySweep, StorySweeper};

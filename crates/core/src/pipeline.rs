@@ -26,7 +26,10 @@ pub struct PipelineConfig {
     pub threshold: u32,
     /// Holdout filter: submitter rank must be ≤ this (paper: 100).
     pub top_user_rank: usize,
-    /// Holdout filter: at least this many scraped votes (paper: 10).
+    /// Holdout filter: the scraped voter list must be **strictly
+    /// longer** than this — i.e. at least `min_votes` votes beyond the
+    /// submitter's implicit first vote (paper: 10). A story whose
+    /// voter list has exactly `min_votes` entries is excluded.
     pub min_votes: usize,
     /// Tree parameters.
     pub c45: C45Params,
@@ -105,8 +108,10 @@ struct HoldoutRow<'a> {
 }
 
 /// Select the §5.2 holdout: upcoming stories by top-ranked users with
-/// enough votes. `promoted_after` tells the pipeline which upcoming
-/// stories the platform later promoted (from the augmentation pass).
+/// more than `min_votes` scraped voters (submitter included in the
+/// list, so this keeps stories with ≥ `min_votes` post-submitter
+/// votes). `promoted_after` tells the pipeline which upcoming stories
+/// the platform later promoted (from the augmentation pass).
 fn select_holdout<'a>(
     ds: &'a DiggDataset,
     cfg: &PipelineConfig,
@@ -153,12 +158,8 @@ pub fn run_pipeline(
         cfg.cv_folds.min(kept.len()).max(2),
         cfg.cv_seed,
     );
-    let predictor = InterestingnessPredictor::train(
-        &ds.front_page,
-        &ds.network,
-        cfg.threshold,
-        &cfg.c45,
-    )?;
+    let predictor =
+        InterestingnessPredictor::train(&ds.front_page, &ds.network, cfg.threshold, &cfg.c45)?;
 
     // 3. Holdout.
     let holdout = select_holdout(ds, cfg, promoted_after);
@@ -172,10 +173,11 @@ pub fn run_pipeline(
     let mut digg_promoted_interesting = 0usize;
     let mut clf_pos_on_promoted = 0usize;
     let mut clf_correct_on_promoted = 0usize;
+    let mut sweeper = crate::story_metrics::StorySweeper::new(&ds.network);
     for row in &holdout {
         let r = row.record;
         let actual = r.is_interesting(cfg.threshold).expect("filtered augmented");
-        let Some(f) = StoryFeatures::extract(r, &ds.network) else {
+        let Some(f) = StoryFeatures::extract_with(&mut sweeper, r, &ds.network) else {
             continue;
         };
         let predicted = predictor.predict_features(&f);
@@ -233,10 +235,7 @@ mod tests {
 
         let mut front_page = Vec::new();
         let mut story_id = 0u32;
-        let mut rec = |submitter: u32,
-                       voters: Vec<u32>,
-                       fin: u32,
-                       source: SampleSource| {
+        let mut rec = |submitter: u32, voters: Vec<u32>, fin: u32, source: SampleSource| {
             story_id += 1;
             StoryRecord {
                 story: StoryId(story_id),
@@ -283,8 +282,8 @@ mod tests {
             cv_folds: 5,
             ..PipelineConfig::default()
         };
-        let result = run_pipeline(&ds, &cfg, &|r| r.final_votes.unwrap_or(0) < 500)
-            .expect("pipeline runs");
+        let result =
+            run_pipeline(&ds, &cfg, &|r| r.final_votes.unwrap_or(0) < 500).expect("pipeline runs");
         assert_eq!(result.training_stories, 20);
         // Training data is separable: CV should be near-perfect.
         assert!(result.cv_correct >= 18, "cv_correct {}", result.cv_correct);
@@ -320,6 +319,37 @@ mod tests {
         ds.upcoming.clear();
         let cfg = PipelineConfig::default();
         assert!(run_pipeline(&ds, &cfg, &|_| false).is_none());
+    }
+
+    #[test]
+    fn min_votes_boundary_excludes_exactly_ten_voters() {
+        // `min_votes` is a strict bound on the voter-list length: a
+        // story whose scraped list has exactly `min_votes` entries
+        // (here 10: submitter + 9 votes) is excluded; one with 11
+        // entries (10 post-submitter votes) is the smallest kept.
+        let mut ds = toy_dataset();
+        ds.upcoming.clear();
+        let mk = |id: u32, n_voters: u32| {
+            let mut vs = vec![0u32];
+            vs.extend(1..n_voters);
+            StoryRecord {
+                story: StoryId(1000 + id),
+                submitter: UserId(0),
+                submitted_at: Minute(0),
+                voters: vs.into_iter().map(UserId).collect(),
+                source: SampleSource::Upcoming,
+                final_votes: Some(200),
+            }
+        };
+        ds.upcoming.push(mk(0, 10)); // exactly 10 voters: excluded
+        ds.upcoming.push(mk(1, 11)); // 11 voters: kept
+        let cfg = PipelineConfig {
+            cv_folds: 5,
+            ..PipelineConfig::default()
+        };
+        assert_eq!(cfg.min_votes, 10);
+        let result = run_pipeline(&ds, &cfg, &|_| false).expect("one holdout story");
+        assert_eq!(result.holdout_stories, 1);
     }
 
     #[test]

@@ -238,13 +238,7 @@ mod tests {
     fn untrainable_input_returns_none() {
         let g = graph();
         let short = vec![record(0, vec![0, 1], 50)];
-        assert!(InterestingnessPredictor::train(
-            &short,
-            &g,
-            520,
-            &C45Params::default()
-        )
-        .is_none());
+        assert!(InterestingnessPredictor::train(&short, &g, 520, &C45Params::default()).is_none());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! lengths of consecutive in-network votes (community bursts), and a
 //! summary classification.
 
-use crate::cascade::in_network_flags;
+use crate::story_metrics::{StorySweep, StorySweeper};
 use serde::{Deserialize, Serialize};
 use social_graph::{SocialGraph, UserId};
 
@@ -69,14 +69,17 @@ impl SpreadProfile {
 /// Profile the first `window` post-submitter votes (fewer if the
 /// story is shorter).
 pub fn profile(graph: &SocialGraph, voters: &[UserId], window: usize) -> SpreadProfile {
-    let flags: Vec<bool> = in_network_flags(graph, voters)
-        .into_iter()
-        .take(window)
-        .collect();
+    profile_sweep(StorySweeper::new(graph).sweep(graph, voters), window)
+}
+
+/// [`profile`] over an already-computed sweep — what batch callers use
+/// so the voter walk happens once per story.
+pub fn profile_sweep(sweep: &StorySweep, window: usize) -> SpreadProfile {
+    let flags = &sweep.flags()[..window.min(sweep.flags().len())];
     let in_network = flags.iter().filter(|&&f| f).count();
     let mut longest = 0usize;
     let mut run = 0usize;
-    for &f in &flags {
+    for &f in flags {
         if f {
             run += 1;
             longest = longest.max(run);

@@ -1,0 +1,428 @@
+//! The single-pass story-analytics engine.
+//!
+//! Every artifact in the paper reduces to one primitive: walk a
+//! story's chronological voter list and track (a) which votes are
+//! *in-network* — the voter was already reachable through the Friends
+//! interface — and (b) the *influence*, the number of users who can
+//! currently see the story through that interface. [`StorySweeper`]
+//! computes both, plus the cumulative cascade and everything the
+//! `(v_n, fans1)` feature vector needs, in **one pass costing O(total
+//! fan degree of the voters)** with zero per-story allocation (scratch
+//! is epoch-stamped and reused).
+//!
+//! The identities that make one pass sufficient, with `reached` = the
+//! union of the fans of voters so far and `voted` = the voters so far:
+//!
+//! * vote `k` (k ≥ 1) is in-network  ⇔  `voters[k] ∈ reached` just
+//!   before it is processed (being a fan of a prior voter *is* being
+//!   in that union);
+//! * influence after `k + 1` voters = `|reached \ voted|`, which a
+//!   counter maintains incrementally: `+1` for each newly reached
+//!   non-voter, `-1` when a reached user votes.
+//!
+//! [`crate::cascade`], [`crate::influence`], [`crate::spread`] and
+//! [`crate::features`] are thin views over this engine; experiments
+//! hold one [`StorySweeper`] per worker thread and stream stories
+//! through it.
+
+use social_graph::{SocialGraph, UserId, VisitBuffer};
+
+/// Reusable sweep engine. Construct once per thread (scratch size is
+/// the graph's user count) and call [`StorySweeper::sweep`] per story.
+#[derive(Debug, Clone)]
+pub struct StorySweeper {
+    /// Users reachable through the Friends interface: the fan-union of
+    /// everyone who has voted so far.
+    reached: VisitBuffer,
+    /// Users who have voted so far.
+    voted: VisitBuffer,
+    out: StorySweep,
+}
+
+/// The per-story result of one sweep. Borrowed from the sweeper; copy
+/// out what must outlive the next call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorySweep {
+    flags: Vec<bool>,
+    cascade: Vec<usize>,
+    influence: Vec<usize>,
+}
+
+impl StorySweeper {
+    /// A sweeper sized for `graph`.
+    pub fn new(graph: &SocialGraph) -> StorySweeper {
+        StorySweeper::for_users(graph.user_count())
+    }
+
+    /// A sweeper covering users `0..n`.
+    pub fn for_users(n: usize) -> StorySweeper {
+        StorySweeper {
+            reached: VisitBuffer::new(n),
+            voted: VisitBuffer::new(n),
+            out: StorySweep::default(),
+        }
+    }
+
+    /// Sweep one story's chronological voter list (submitter first).
+    /// O(Σ fan-degree of voters); no allocation once the output
+    /// vectors have grown to the story size.
+    pub fn sweep(&mut self, graph: &SocialGraph, voters: &[UserId]) -> &StorySweep {
+        self.reached.ensure_capacity(graph.user_count());
+        self.voted.ensure_capacity(graph.user_count());
+        self.reached.clear();
+        self.voted.clear();
+        let out = &mut self.out;
+        out.flags.clear();
+        out.cascade.clear();
+        out.influence.clear();
+        out.flags.reserve(voters.len().saturating_sub(1));
+        out.cascade.reserve(voters.len().saturating_sub(1));
+        out.influence.reserve(voters.len());
+
+        let mut audience = 0usize;
+        let mut cascade = 0usize;
+        for (k, &v) in voters.iter().enumerate() {
+            if k > 0 {
+                let in_network = self.reached.contains(v);
+                if in_network {
+                    cascade += 1;
+                }
+                out.flags.push(in_network);
+                out.cascade.push(cascade);
+            }
+            // `v` stops being audience the moment it votes (votes by
+            // the same user twice — absent from real data, possible in
+            // randomized tests — change nothing the second time).
+            if self.voted.insert(v) && self.reached.contains(v) {
+                audience -= 1;
+            }
+            for &f in graph.fans(v) {
+                if self.reached.insert(f) && !self.voted.contains(f) {
+                    audience += 1;
+                }
+            }
+            out.influence.push(audience);
+        }
+        &self.out
+    }
+}
+
+impl StorySweep {
+    /// Per post-submitter vote, whether it was in-network; aligned
+    /// with `voters[1..]` (the layout of
+    /// [`crate::cascade::in_network_flags`]).
+    pub fn flags(&self) -> &[bool] {
+        &self.flags
+    }
+
+    /// Cumulative in-network counts; entry `k` is the cascade size
+    /// after `k + 1` post-submitter votes.
+    pub fn cascade(&self) -> &[usize] {
+        &self.cascade
+    }
+
+    /// Influence after each voter; entry `k` is the Friends-interface
+    /// audience after `k + 1` voters (submitter included).
+    pub fn influence(&self) -> &[usize] {
+        &self.influence
+    }
+
+    /// Number of post-submitter votes swept.
+    pub fn post_submitter_votes(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// The paper's `v_n`: in-network votes among the first `n`
+    /// post-submitter votes (all of them if the story is shorter).
+    pub fn in_network_count_within(&self, n: usize) -> usize {
+        match n.min(self.cascade.len()) {
+            0 => 0,
+            m => self.cascade[m - 1],
+        }
+    }
+
+    /// Influence after the first `k` voters, `k` clamped to the list
+    /// length; 0 when `k == 0` or the story has no voters.
+    pub fn influence_after(&self, k: usize) -> usize {
+        match k.min(self.influence.len()) {
+            0 => 0,
+            m => self.influence[m - 1],
+        }
+    }
+
+    /// Final cascade size (all post-submitter votes).
+    pub fn final_cascade(&self) -> usize {
+        self.cascade.last().copied().unwrap_or(0)
+    }
+}
+
+/// Worker-thread count for the experiment fan-out: the `DIGG_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
+///
+/// Results never depend on this value — see [`par_map`] — so it is a
+/// pure throughput knob.
+pub fn worker_threads() -> usize {
+    std::env::var("DIGG_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// How many items each worker chunk gets: `ceil(n / threads)`, at
+/// least 1.
+fn chunk_size(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.max(1)).max(1)
+}
+
+/// Deterministic parallel map: `out[i] == f(&items[i])` regardless of
+/// `threads`. Items are split into contiguous chunks, one scoped
+/// thread per chunk, and per-chunk outputs are concatenated in chunk
+/// order — bit-identical results at any thread count.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunk = chunk_size(items.len(), threads);
+    if chunk >= items.len() {
+        return items.iter().map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+/// [`par_map`] handing each worker thread its own [`StorySweeper`]
+/// sized for `graph` — the batch path for per-story analytics: one
+/// voter walk per story, one scratch buffer per thread, zero per-story
+/// allocation.
+pub fn sweep_map<T, R, F>(graph: &SocialGraph, items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut StorySweeper, &T) -> R + Sync,
+{
+    let chunk = chunk_size(items.len(), threads);
+    if chunk >= items.len() {
+        let mut sweeper = StorySweeper::new(graph);
+        return items.iter().map(|t| f(&mut sweeper, t)).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut sweeper = StorySweeper::new(graph);
+                    part.iter().map(|t| f(&mut sweeper, t)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+/// Deterministic parallel fold: each contiguous chunk is folded on its
+/// own thread into an accumulator from `make`, and the per-chunk
+/// accumulators are merged **in chunk order** with `merge` — so any
+/// order-sensitive accumulator still produces thread-count-independent
+/// results.
+pub fn par_fold<T, A, F, M>(
+    items: &[T],
+    threads: usize,
+    make: impl Fn() -> A + Sync,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    F: Fn(&mut A, &T) + Sync,
+    M: Fn(&mut A, A),
+{
+    let chunk = chunk_size(items.len(), threads);
+    if chunk >= items.len() {
+        let mut acc = make();
+        for t in items {
+            fold(&mut acc, t);
+        }
+        return acc;
+    }
+    std::thread::scope(|scope| {
+        let fold = &fold;
+        let make = &make;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut acc = make();
+                    for t in part {
+                        fold(&mut acc, t);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let mut out = make();
+        for h in handles {
+            merge(&mut out, h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use social_graph::GraphBuilder;
+
+    /// Fans: 0 <- {1, 2, 3}; 4 <- {5, 6}; 1 <- {2}.
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(7);
+        for f in [1, 2, 3] {
+            b.add_watch(UserId(f), UserId(0));
+        }
+        for f in [5, 6] {
+            b.add_watch(UserId(f), UserId(4));
+        }
+        b.add_watch(UserId(2), UserId(1));
+        b.build()
+    }
+
+    #[test]
+    fn sweep_produces_all_three_series() {
+        let g = graph();
+        let mut sweeper = StorySweeper::new(&g);
+        // Submitter 0; fan 1 votes (in-network, audience shrinks),
+        // then the unconnected 4 (out-of-network, brings fans 5, 6).
+        let s = sweeper.sweep(&g, &[UserId(0), UserId(1), UserId(4)]);
+        assert_eq!(s.flags(), &[true, false]);
+        assert_eq!(s.cascade(), &[1, 1]);
+        assert_eq!(s.influence(), &[3, 2, 4]);
+        assert_eq!(s.post_submitter_votes(), 2);
+        assert_eq!(s.final_cascade(), 1);
+    }
+
+    #[test]
+    fn window_and_clamp_helpers() {
+        let g = graph();
+        let mut sweeper = StorySweeper::new(&g);
+        let s = sweeper.sweep(&g, &[UserId(0), UserId(1), UserId(4), UserId(2)]);
+        assert_eq!(s.in_network_count_within(0), 0);
+        assert_eq!(s.in_network_count_within(1), 1);
+        assert_eq!(s.in_network_count_within(3), 2);
+        assert_eq!(s.in_network_count_within(99), 2);
+        assert_eq!(s.influence_after(0), 0);
+        assert_eq!(s.influence_after(1), 3);
+        assert_eq!(s.influence_after(99), s.influence()[3]);
+    }
+
+    #[test]
+    fn sweeper_reuse_is_clean_across_stories() {
+        let g = graph();
+        let mut sweeper = StorySweeper::new(&g);
+        let first = sweeper.sweep(&g, &[UserId(0), UserId(1)]).clone();
+        // A completely different story must not see stale epochs.
+        let second = sweeper.sweep(&g, &[UserId(4), UserId(5)]).clone();
+        assert_eq!(second.flags(), &[true]);
+        assert_eq!(second.influence(), &[2, 1]);
+        // And re-sweeping the first story reproduces it exactly.
+        assert_eq!(sweeper.sweep(&g, &[UserId(0), UserId(1)]), &first);
+    }
+
+    #[test]
+    fn empty_and_singleton_stories() {
+        let g = graph();
+        let mut sweeper = StorySweeper::new(&g);
+        let s = sweeper.sweep(&g, &[]);
+        assert!(s.flags().is_empty());
+        assert!(s.influence().is_empty());
+        assert_eq!(s.influence_after(5), 0);
+        let s = sweeper.sweep(&g, &[UserId(0)]);
+        assert_eq!(s.influence(), &[3]);
+        assert!(s.flags().is_empty());
+    }
+
+    #[test]
+    fn duplicate_voters_do_not_double_count() {
+        let g = graph();
+        let mut sweeper = StorySweeper::new(&g);
+        let s = sweeper.sweep(&g, &[UserId(0), UserId(1), UserId(1)]);
+        // Second vote by 1 is still "in-network" (1 is a fan of a
+        // prior voter) but audience no longer changes.
+        assert_eq!(s.flags(), &[true, true]);
+        assert_eq!(s.influence(), &[3, 2, 2]);
+    }
+
+    #[test]
+    fn par_map_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial = par_map(&items, 1, |&x| x * x + 1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(par_map(&items, threads, |&x| x * x + 1), serial);
+        }
+        assert!(par_map(&[] as &[u64], 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn sweep_map_matches_serial_sweeps() {
+        let g = graph();
+        let stories: Vec<Vec<UserId>> = vec![
+            vec![UserId(0), UserId(1), UserId(4)],
+            vec![UserId(4), UserId(5)],
+            vec![UserId(0)],
+            vec![],
+            vec![UserId(2), UserId(0), UserId(1), UserId(3)],
+        ];
+        let mut sweeper = StorySweeper::new(&g);
+        let serial: Vec<StorySweep> = stories
+            .iter()
+            .map(|v| sweeper.sweep(&g, v).clone())
+            .collect();
+        for threads in [1, 2, 8] {
+            let par = sweep_map(&g, &stories, threads, |sw, v| sw.sweep(&g, v).clone());
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_fold_merges_in_chunk_order() {
+        let items: Vec<u32> = (0..57).collect();
+        let serial: Vec<u32> = items.clone();
+        for threads in [1, 2, 5, 16] {
+            let folded = par_fold(
+                &items,
+                threads,
+                Vec::new,
+                |acc: &mut Vec<u32>, &x| acc.push(x),
+                |acc, part| acc.extend(part),
+            );
+            assert_eq!(folded, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
+    }
+}

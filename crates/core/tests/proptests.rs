@@ -123,6 +123,51 @@ proptest! {
     }
 
     #[test]
+    fn features_match_seed_implementation(g in graph_strategy(), voters in voters_strategy()) {
+        use digg_data::{SampleSource, StoryRecord};
+        let record = StoryRecord {
+            story: digg_sim::StoryId(0),
+            submitter: *voters.first().unwrap(),
+            submitted_at: digg_sim::Minute(0),
+            voters: voters.clone(),
+            source: SampleSource::FrontPage,
+            final_votes: None,
+        };
+        let fast = digg_core::features::StoryFeatures::extract(&record, &g);
+        // Seed semantics: None below 10 post-submitter votes, else
+        // window counts from the brute-force flags plus raw fans1.
+        if voters.len() <= 10 {
+            prop_assert!(fast.is_none());
+        } else {
+            let flags = brute_in_network(&g, &voters);
+            let count = |n: usize| flags.iter().take(n).filter(|&&f| f).count();
+            let f = fast.unwrap();
+            prop_assert_eq!(f.v6, count(6));
+            prop_assert_eq!(f.v10, count(10));
+            prop_assert_eq!(f.v20, count(20));
+            prop_assert_eq!(f.fans1, g.fan_count(voters[0]));
+            prop_assert_eq!(f.scraped_votes, voters.len());
+        }
+    }
+
+    #[test]
+    fn sweeps_are_thread_count_invariant(
+        g in graph_strategy(),
+        stories in prop::collection::vec(voters_strategy(), 0..12)
+    ) {
+        let sweep_all = |threads: usize| {
+            digg_core::sweep_map(&g, &stories, threads, |sw, voters| {
+                let s = sw.sweep(&g, voters);
+                (s.flags().to_vec(), s.cascade().to_vec(), s.influence().to_vec())
+            })
+        };
+        let serial = sweep_all(1);
+        for threads in [2usize, 8] {
+            prop_assert_eq!(sweep_all(threads), serial.clone(), "threads={}", threads);
+        }
+    }
+
+    #[test]
     fn fig5_rule_is_total_and_matches_thresholds(v10 in 0usize..30, fans1 in 0usize..2000) {
         let p = digg_core::predictor::fig5_predictor();
         let f = digg_core::features::StoryFeatures {

@@ -73,8 +73,7 @@ pub fn load(path: &Path) -> Result<DiggDataset, IoError> {
 /// Export the per-story summary as CSV (one row per record):
 /// `story,source,submitter,submitted_at,scraped_votes,final_votes`.
 pub fn to_csv(ds: &DiggDataset) -> String {
-    let mut out =
-        String::from("story,source,submitter,submitted_at,scraped_votes,final_votes\n");
+    let mut out = String::from("story,source,submitter,submitted_at,scraped_votes,final_votes\n");
     for r in ds.all_records() {
         let source = match r.source {
             crate::model::SampleSource::FrontPage => "front_page",

@@ -96,7 +96,10 @@ impl DiggDataset {
     /// Rank (1-based) of each user in the Top Users list, or `None`
     /// if beyond the list length used at construction.
     pub fn rank_of(&self, user: UserId) -> Option<usize> {
-        self.top_users.iter().position(|&u| u == user).map(|i| i + 1)
+        self.top_users
+            .iter()
+            .position(|&u| u == user)
+            .map(|i| i + 1)
     }
 
     /// Is the user within the top `k` ranks?

@@ -169,12 +169,7 @@ mod tests {
     use digg_sim::{Minute, StoryId};
     use social_graph::{GraphBuilder, SocialGraph, UserId};
 
-    fn record(
-        id: u32,
-        voters: Vec<u32>,
-        source: SampleSource,
-        fin: Option<u32>,
-    ) -> StoryRecord {
+    fn record(id: u32, voters: Vec<u32>, source: SampleSource, fin: Option<u32>) -> StoryRecord {
         StoryRecord {
             story: StoryId(id),
             submitter: UserId(voters[0]),

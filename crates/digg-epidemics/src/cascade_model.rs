@@ -56,12 +56,7 @@ impl CascadeOutcome {
 /// # Panics
 ///
 /// Panics if `phi` is outside `[0, 1]`.
-pub fn run(
-    graph: &SocialGraph,
-    seeds: &[UserId],
-    phi: f64,
-    max_steps: usize,
-) -> CascadeOutcome {
+pub fn run(graph: &SocialGraph, seeds: &[UserId], phi: f64, max_steps: usize) -> CascadeOutcome {
     assert!((0.0..=1.0).contains(&phi), "phi must be a fraction");
     let n = graph.user_count();
     let mut activated_at: Vec<Option<u32>> = vec![None; n];

@@ -82,9 +82,8 @@ pub fn sweep<R: Rng + ?Sized>(
                 rates.push(out.attack_rate(n));
             }
             let mean = rates.iter().sum::<f64>() / trials.max(1) as f64;
-            let outbreaks =
-                rates.iter().filter(|&&r| r > outbreak_cutoff).count() as f64
-                    / trials.max(1) as f64;
+            let outbreaks = rates.iter().filter(|&&r| r > outbreak_cutoff).count() as f64
+                / trials.max(1) as f64;
             SweepPoint {
                 beta,
                 mean_attack_rate: mean,

@@ -120,10 +120,24 @@ impl OneR {
                     let err_b = le_pos + (gt_total - gt_pos);
                     let threshold = (v + vn) / 2.0;
                     if err_a < best.0 {
-                        best = (err_a, OneR { attr, threshold, le_label: true });
+                        best = (
+                            err_a,
+                            OneR {
+                                attr,
+                                threshold,
+                                le_label: true,
+                            },
+                        );
                     }
                     if err_b < best.0 {
-                        best = (err_b, OneR { attr, threshold, le_label: false });
+                        best = (
+                            err_b,
+                            OneR {
+                                attr,
+                                threshold,
+                                le_label: false,
+                            },
+                        );
                     }
                 }
             }
@@ -184,8 +198,7 @@ impl GaussianNb {
                         .map(|i| i.values[a])
                         .collect();
                     let m = vals.iter().sum::<f64>() / vals.len() as f64;
-                    let v = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
-                        / vals.len() as f64;
+                    let v = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / vals.len() as f64;
                     (m, v.max(Self::MIN_VAR))
                 })
                 .collect()

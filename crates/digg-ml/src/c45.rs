@@ -89,10 +89,7 @@ fn best_split(ds: &MlDataset, idx: &[usize], min_leaf: usize) -> Option<(usize, 
                 .expect("no NaN in dataset")
         });
         let total = order.len();
-        let total_pos = order
-            .iter()
-            .filter(|&&i| ds.instances()[i].label)
-            .count();
+        let total_pos = order.iter().filter(|&&i| ds.instances()[i].label).count();
         // Sweep thresholds between adjacent distinct values.
         let mut le_pos = 0usize;
         for k in 0..total.saturating_sub(1) {
@@ -127,8 +124,7 @@ fn best_split(ds: &MlDataset, idx: &[usize], min_leaf: usize) -> Option<(usize, 
     if candidates.is_empty() {
         return None;
     }
-    let mean_gain: f64 =
-        candidates.iter().map(|c| c.3).sum::<f64>() / candidates.len() as f64;
+    let mean_gain: f64 = candidates.iter().map(|c| c.3).sum::<f64>() / candidates.len() as f64;
     candidates
         .into_iter()
         .filter(|c| c.3 >= mean_gain - 1e-12)

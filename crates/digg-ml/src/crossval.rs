@@ -67,12 +67,7 @@ pub fn stratified_folds(ds: &MlDataset, k: usize, seed: u64) -> Vec<usize> {
 ///
 /// Panics if any training fold ends up empty (dataset smaller than
 /// `k`).
-pub fn cross_validate(
-    ds: &MlDataset,
-    params: &C45Params,
-    k: usize,
-    seed: u64,
-) -> CrossValResult {
+pub fn cross_validate(ds: &MlDataset, params: &C45Params, k: usize, seed: u64) -> CrossValResult {
     let fold = stratified_folds(ds, k, seed);
     let mut pooled = ConfusionMatrix::default();
     let mut folds = Vec::with_capacity(k);

@@ -58,11 +58,7 @@ impl BaggedTrees {
     /// Fraction of trees voting positive — a calibrated-ish score in
     /// `[0, 1]`.
     pub fn score(&self, values: &[f64]) -> f64 {
-        let pos = self
-            .trees
-            .iter()
-            .filter(|t| t.predict(values))
-            .count();
+        let pos = self.trees.iter().filter(|t| t.predict(values)).count();
         pos as f64 / self.trees.len() as f64
     }
 

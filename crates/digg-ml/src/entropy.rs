@@ -44,9 +44,7 @@ impl SplitCounts {
         let parent = entropy(self.positives(), n);
         let wl = self.le_total as f64 / n as f64;
         let wg = self.gt_total as f64 / n as f64;
-        parent
-            - wl * entropy(self.le_pos, self.le_total)
-            - wg * entropy(self.gt_pos, self.gt_total)
+        parent - wl * entropy(self.le_pos, self.le_total) - wg * entropy(self.gt_pos, self.gt_total)
     }
 
     /// Split information (intrinsic value) of the partition sizes.

@@ -39,7 +39,7 @@ pub mod metrics;
 pub mod prune;
 pub mod tree;
 
-pub use c45::{C45Params, train};
+pub use c45::{train, C45Params};
 pub use data::{Instance, MlDataset};
 pub use metrics::ConfusionMatrix;
 pub use tree::DecisionTree;

@@ -4,8 +4,8 @@
 //! compares precisions (`P = TP/(TP+FP)`) between the classifier and
 //! Digg's promotion decision; this module is that bookkeeping.
 
-use crate::tree::DecisionTree;
 use crate::data::MlDataset;
+use crate::tree::DecisionTree;
 use serde::{Deserialize, Serialize};
 
 /// Binary confusion matrix.

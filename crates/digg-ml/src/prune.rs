@@ -34,8 +34,8 @@ pub fn pessimistic_errors(errors: usize, total: usize, cf: f64) -> f64 {
         return errors as f64;
     }
     let z2 = z * z;
-    let ucb = (f + z2 / (2.0 * n) + z * (f * (1.0 - f) / n + z2 / (4.0 * n * n)).sqrt())
-        / (1.0 + z2 / n);
+    let ucb =
+        (f + z2 / (2.0 * n) + z * (f * (1.0 - f) / n + z2 / (4.0 * n * n)).sqrt()) / (1.0 + z2 / n);
     n * ucb.min(1.0)
 }
 

@@ -141,9 +141,7 @@ impl DecisionTree {
     /// (`dot -Tsvg tree.dot`). Leaves show `label (total/errors)`;
     /// split nodes show the test, with `<=` on the left edge.
     pub fn to_dot(&self) -> String {
-        let mut out = String::from(
-            "digraph tree {\n  node [fontname=\"monospace\"];\n",
-        );
+        let mut out = String::from("digraph tree {\n  node [fontname=\"monospace\"];\n");
         let mut next_id = 0usize;
         self.dot_node(&self.root, &mut next_id, &mut out);
         out.push_str("}\n");
@@ -270,7 +268,7 @@ mod tests {
         assert!(!t.predict(&[9.0, 500.0])); // v10 > 8 -> no
         assert!(!t.predict(&[6.0, 50.0])); // 4 < v10 <= 8, fans1 <= 85 -> no
         assert!(t.predict(&[6.0, 100.0])); // fans1 > 85 -> yes
-        // Boundary: <= goes left.
+                                           // Boundary: <= goes left.
         assert!(t.predict(&[4.0, 0.0]));
         assert!(!t.predict(&[8.0, 85.0]));
     }

@@ -228,12 +228,18 @@ impl SimConfig {
         if self.users == 0 {
             return Err("users must be positive".into());
         }
-        nonneg("frontpage_sessions_per_minute", self.frontpage_sessions_per_minute)?;
+        nonneg(
+            "frontpage_sessions_per_minute",
+            self.frontpage_sessions_per_minute,
+        )?;
         prob("frontpage_vote_prob", self.frontpage_vote_prob)?;
         if self.novelty_tau <= 0.0 {
             return Err("novelty_tau must be positive".into());
         }
-        nonneg("upcoming_sessions_per_minute", self.upcoming_sessions_per_minute)?;
+        nonneg(
+            "upcoming_sessions_per_minute",
+            self.upcoming_sessions_per_minute,
+        )?;
         prob("upcoming_vote_prob", self.upcoming_vote_prob)?;
         prob("page_stop_prob", self.page_stop_prob)?;
         nonneg("external_rate", self.external_rate)?;

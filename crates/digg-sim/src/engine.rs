@@ -196,8 +196,7 @@ impl Sim {
     }
 
     fn draw_quality(&mut self, submitter: UserId) -> f64 {
-        let skill = (self.pop.activity[submitter.index()] / self.cfg.skill_activity_ref)
-            .min(1.0);
+        let skill = (self.pop.activity[submitter.index()] / self.cfg.skill_activity_ref).min(1.0);
         let p_broad = self.cfg.high_quality_fraction + self.cfg.high_quality_skill * skill;
         if coin(&mut self.rng, p_broad) {
             let lo = self.cfg.broad_quality_min;
@@ -224,8 +223,7 @@ impl Sim {
             let p = if e.from_submitter {
                 self.cfg.friend_vote_submitted
             } else {
-                self.cfg.friend_vote_base
-                    + self.cfg.friend_vote_quality_slope * story.quality
+                self.cfg.friend_vote_base + self.cfg.friend_vote_quality_slope * story.quality
             };
             if coin(&mut self.rng, p) {
                 self.cast_vote(e.story, e.fan, VoteChannel::Friends);
@@ -363,8 +361,7 @@ impl Sim {
                     .schedule(fan, story, Minute(u64::MAX), self.now, from_submitter);
                 continue;
             }
-            let delay =
-                1.0 + exponential(&mut self.rng, 1.0 / self.cfg.fan_exposure_delay_mean);
+            let delay = 1.0 + exponential(&mut self.rng, 1.0 / self.cfg.fan_exposure_delay_mean);
             let delay = (delay as u64).min(self.cfg.feed_lifetime);
             self.exposures
                 .schedule(fan, story, self.now + delay, self.now, from_submitter);
@@ -430,10 +427,7 @@ mod tests {
         sim.run(600);
         assert_eq!(sim.now(), Minute(600));
         assert!(sim.metrics().submissions > 0, "no submissions in 10h");
-        assert_eq!(
-            sim.metrics().submissions as usize,
-            sim.stories().len()
-        );
+        assert_eq!(sim.metrics().submissions as usize, sim.stories().len());
     }
 
     #[test]

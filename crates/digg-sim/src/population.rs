@@ -169,8 +169,7 @@ impl Population {
             out_degrees[user] = deg;
         }
 
-        let attractiveness: Vec<f64> =
-            activity.iter().map(|a| a.powf(cfg.fans_gamma)).collect();
+        let attractiveness: Vec<f64> = activity.iter().map(|a| a.powf(cfg.fans_gamma)).collect();
         let graph = configuration_model(rng, &out_degrees, &attractiveness);
 
         let submit_weight: Vec<f64> = activity
@@ -199,11 +198,7 @@ impl Population {
     /// creation dates are synthesised uniformly between the later
     /// join date of the endpoints and `scrape_day`, which is what the
     /// paper's Feb-2008 scrape would have seen.
-    pub fn to_temporal<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        scrape_day: Day,
-    ) -> TemporalFanList {
+    pub fn to_temporal<R: Rng + ?Sized>(&self, rng: &mut R, scrape_day: Day) -> TemporalFanList {
         let mut t = TemporalFanList::new(self.len());
         for (fan, watched) in self.graph.edges() {
             let earliest = self.join_day[fan.index()].max(self.join_day[watched.index()]);

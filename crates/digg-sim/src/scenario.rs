@@ -173,10 +173,7 @@ mod tests {
     fn september_variant_swaps_only_the_promoter() {
         let june = june2006(4);
         let sept = september2006(4);
-        assert!(matches!(
-            sept.promoter,
-            PromoterKind::Diversity { .. }
-        ));
+        assert!(matches!(sept.promoter, PromoterKind::Diversity { .. }));
         assert_eq!(sept.validate(), Ok(()));
         // Everything else identical.
         let mut sept_as_june = sept;

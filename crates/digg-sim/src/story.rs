@@ -7,9 +7,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 /// Identifier of a story, dense in submission order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct StoryId(pub u32);
 

@@ -12,26 +12,24 @@ use rand::SeedableRng;
 fn config_strategy() -> impl Strategy<Value = SimConfig> {
     (
         any::<u64>(),
-        0.05..0.5f64,   // submissions per minute
-        0.0..0.5f64,    // high quality fraction
-        3usize..60,     // promotion threshold
-        0.0..0.1f64,    // external rate
-        0.0..0.4f64,    // friend vote base
-        1.0..20.0f64,   // frontpage sessions
+        0.05..0.5f64, // submissions per minute
+        0.0..0.5f64,  // high quality fraction
+        3usize..60,   // promotion threshold
+        0.0..0.1f64,  // external rate
+        0.0..0.4f64,  // friend vote base
+        1.0..20.0f64, // frontpage sessions
     )
-        .prop_map(
-            |(seed, subs, hq, min_votes, ext, fvb, fps)| {
-                let mut cfg = SimConfig::toy(seed);
-                cfg.submissions_per_minute = subs;
-                cfg.high_quality_fraction = hq;
-                cfg.promoter = PromoterKind::Threshold { min_votes };
-                cfg.external_rate = ext;
-                cfg.friend_vote_base = fvb;
-                cfg.friend_vote_quality_slope = 0.1;
-                cfg.frontpage_sessions_per_minute = fps;
-                cfg
-            },
-        )
+        .prop_map(|(seed, subs, hq, min_votes, ext, fvb, fps)| {
+            let mut cfg = SimConfig::toy(seed);
+            cfg.submissions_per_minute = subs;
+            cfg.high_quality_fraction = hq;
+            cfg.promoter = PromoterKind::Threshold { min_votes };
+            cfg.external_rate = ext;
+            cfg.friend_vote_base = fvb;
+            cfg.friend_vote_quality_slope = 0.1;
+            cfg.frontpage_sessions_per_minute = fps;
+            cfg
+        })
 }
 
 fn run_sim(cfg: SimConfig, minutes: u64) -> Sim {

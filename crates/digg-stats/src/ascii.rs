@@ -171,10 +171,7 @@ mod tests {
 
     #[test]
     fn kv_table_aligns() {
-        let t = kv_table(&[
-            ("a".into(), "1".into()),
-            ("long".into(), "2".into()),
-        ]);
+        let t = kv_table(&[("a".into(), "1".into()), ("long".into(), "2".into())]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines[0].find('1'), lines[1].find('2'));
     }

@@ -146,11 +146,7 @@ mod tests {
 
     #[test]
     fn decreasing_median_detection() {
-        let g = GroupedSummary::from_pairs(vec![
-            (0, 100.0),
-            (1, 50.0),
-            (2, 25.0),
-        ]);
+        let g = GroupedSummary::from_pairs(vec![(0, 100.0), (1, 50.0), (2, 25.0)]);
         assert_eq!(g.decreasing_median_fraction(), Some(1.0));
 
         let inc = GroupedSummary::from_pairs(vec![(0, 1.0), (1, 2.0)]);

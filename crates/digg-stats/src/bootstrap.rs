@@ -163,7 +163,9 @@ mod tests {
     fn fraction_ci_covers_true_rate() {
         let mut r = rng();
         // 30% ones.
-        let xs: Vec<f64> = (0..400).map(|i| if i % 10 < 3 { 1.0 } else { 0.0 }).collect();
+        let xs: Vec<f64> = (0..400)
+            .map(|i| if i % 10 < 3 { 1.0 } else { 0.0 })
+            .collect();
         let ci = fraction_ci(&mut r, &xs, 500, 0.95).unwrap();
         assert!((ci.estimate - 0.3).abs() < 1e-12);
         assert!(ci.contains(0.3));
@@ -175,8 +177,22 @@ mod tests {
         let mut r = rng();
         let small: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
         let large: Vec<f64> = (0..3000).map(|i| (i % 7) as f64).collect();
-        let ci_s = bootstrap_ci(&mut r, &small, |s| s.iter().sum::<f64>() / s.len() as f64, 400, 0.95).unwrap();
-        let ci_l = bootstrap_ci(&mut r, &large, |s| s.iter().sum::<f64>() / s.len() as f64, 400, 0.95).unwrap();
+        let ci_s = bootstrap_ci(
+            &mut r,
+            &small,
+            |s| s.iter().sum::<f64>() / s.len() as f64,
+            400,
+            0.95,
+        )
+        .unwrap();
+        let ci_l = bootstrap_ci(
+            &mut r,
+            &large,
+            |s| s.iter().sum::<f64>() / s.len() as f64,
+            400,
+            0.95,
+        )
+        .unwrap();
         assert!(ci_l.width() < ci_s.width());
     }
 }

@@ -142,7 +142,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma < 0` or parameters are not finite.
     pub fn new(mu: f64, sigma: f64) -> LogNormal {
-        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         LogNormal { mu, sigma }
     }
@@ -166,7 +169,10 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
 
 /// Continuous Pareto variate with scale `xmin` and shape `alpha`.
 pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xmin: f64, alpha: f64) -> f64 {
-    assert!(xmin > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+    assert!(
+        xmin > 0.0 && alpha > 0.0,
+        "Pareto parameters must be positive"
+    );
     let u: f64 = 1.0 - rng.random::<f64>(); // in (0, 1]
     xmin * u.powf(-1.0 / alpha)
 }

@@ -49,23 +49,44 @@ impl GraphBuilder {
         self.edges.len()
     }
 
-    /// Finalise into an immutable graph.
+    /// Finalise into an immutable CSR graph.
     pub fn build(mut self) -> SocialGraph {
         self.edges.sort_unstable();
         self.edges.dedup();
-        let mut friends: Vec<Vec<UserId>> = vec![Vec::new(); self.n];
-        let mut fans: Vec<Vec<UserId>> = vec![Vec::new(); self.n];
-        for &(a, b) in &self.edges {
-            friends[a.index()].push(b);
-            fans[b.index()].push(a);
-        }
-        // `friends` lists are sorted because edges were sorted by (a, b);
-        // `fans` lists are sorted because for fixed b the a's arrive in
-        // ascending order too. Sort defensively anyway in debug builds.
-        debug_assert!(friends.iter().all(|v| v.windows(2).all(|w| w[0] < w[1])));
-        debug_assert!(fans.iter().all(|v| v.windows(2).all(|w| w[0] < w[1])));
+        let n = self.n;
         let m = self.edges.len();
-        SocialGraph::from_parts(friends, fans, m)
+        assert!(m <= u32::MAX as usize, "edge count exceeds u32 CSR offsets");
+
+        // Friends view: edges are sorted by (fan, watched), so the
+        // target column is already the concatenation of sorted rows.
+        let mut friend_offsets = vec![0u32; n + 1];
+        for &(a, _) in &self.edges {
+            friend_offsets[a.index() + 1] += 1;
+        }
+        for i in 0..n {
+            friend_offsets[i + 1] += friend_offsets[i];
+        }
+        let friend_targets: Vec<UserId> = self.edges.iter().map(|&(_, b)| b).collect();
+
+        // Fans view: counting sort by target. Scanning edges in (a, b)
+        // order writes each fan row's `a`s in ascending order, so rows
+        // come out sorted without a second sort.
+        let mut fan_offsets = vec![0u32; n + 1];
+        for &(_, b) in &self.edges {
+            fan_offsets[b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            fan_offsets[i + 1] += fan_offsets[i];
+        }
+        let mut cursor: Vec<u32> = fan_offsets[..n].to_vec();
+        let mut fan_targets = vec![UserId(0); m];
+        for &(a, b) in &self.edges {
+            let slot = &mut cursor[b.index()];
+            fan_targets[*slot as usize] = a;
+            *slot += 1;
+        }
+
+        SocialGraph::from_csr(friend_offsets, friend_targets, fan_offsets, fan_targets)
     }
 }
 

@@ -103,10 +103,7 @@ pub fn preferential_attachment<R: Rng + ?Sized>(
         // Weighted sampling without replacement among 0..newcomer via
         // repeated draws; collisions are re-drawn (cheap: m is small).
         let mut targets: Vec<usize> = Vec::with_capacity(m);
-        let total_w: f64 = fans[..newcomer]
-            .iter()
-            .map(|&f| f as f64 + smoothing)
-            .sum();
+        let total_w: f64 = fans[..newcomer].iter().map(|&f| f as f64 + smoothing).sum();
         let mut guard = 0usize;
         while targets.len() < m.min(newcomer) && guard < 10_000 {
             guard += 1;
@@ -325,9 +322,10 @@ mod tests {
         attr[0] = 500.0; // user 0 hoards fans
         let g = configuration_model(&mut r, &degs, &attr);
         let f0 = g.fan_count(UserId(0));
-        let avg: f64 =
-            (1..n).map(|i| g.fan_count(UserId::from_index(i))).sum::<usize>() as f64
-                / (n - 1) as f64;
+        let avg: f64 = (1..n)
+            .map(|i| g.fan_count(UserId::from_index(i)))
+            .sum::<usize>() as f64
+            / (n - 1) as f64;
         assert!(f0 as f64 > 10.0 * avg, "hub fans {f0} vs avg {avg}");
     }
 

@@ -3,12 +3,19 @@
 use crate::id::UserId;
 use serde::{Deserialize, Serialize};
 
-/// An immutable directed graph over users `0..user_count`, stored as
-/// sorted adjacency lists in both directions.
+/// An immutable directed graph over users `0..user_count`, stored in
+/// compressed sparse row (CSR) form in both directions.
 ///
 /// Terminology follows the paper: a *watch edge* `a -> b` means user
 /// `a` watches (is a fan of) user `b`; `b` is then one of `a`'s
 /// *friends* and `a` one of `b`'s *fans*.
+///
+/// Each direction is one flat `targets` array indexed by an `offsets`
+/// array of length `user_count + 1`: user `u`'s neighbours are
+/// `targets[offsets[u] .. offsets[u + 1]]`, sorted ascending. Compared
+/// to the earlier `Vec<Vec<UserId>>` layout this removes one pointer
+/// chase per adjacency access and keeps whole fan lists contiguous,
+/// which is what the story-sweep engine in `digg-core` streams over.
 ///
 /// Construction goes through [`GraphBuilder`](crate::GraphBuilder),
 /// which deduplicates edges and drops self-loops; the invariants relied
@@ -29,46 +36,62 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SocialGraph {
-    /// `friends[a]` = sorted users that `a` watches (out-neighbours).
-    friends: Vec<Vec<UserId>>,
-    /// `fans[b]` = sorted users watching `b` (in-neighbours).
-    fans: Vec<Vec<UserId>>,
-    edge_count: usize,
+    /// CSR row starts for the friends view; length `user_count + 1`.
+    friend_offsets: Vec<u32>,
+    /// Concatenated sorted friend lists (users each row watches).
+    friend_targets: Vec<UserId>,
+    /// CSR row starts for the fans view; length `user_count + 1`.
+    fan_offsets: Vec<u32>,
+    /// Concatenated sorted fan lists (users watching each row).
+    fan_targets: Vec<UserId>,
 }
 
 impl SocialGraph {
-    /// Internal constructor used by the builder; `friends` and `fans`
-    /// must be mutually consistent, sorted, and deduplicated.
-    pub(crate) fn from_parts(
-        friends: Vec<Vec<UserId>>,
-        fans: Vec<Vec<UserId>>,
-        edge_count: usize,
+    /// Internal constructor used by the builder. Both views must be
+    /// mutually consistent, with each row sorted and duplicate-free,
+    /// and `*_offsets` must be monotone with
+    /// `len == fan_offsets.len()` and final entry `targets.len()`.
+    pub(crate) fn from_csr(
+        friend_offsets: Vec<u32>,
+        friend_targets: Vec<UserId>,
+        fan_offsets: Vec<u32>,
+        fan_targets: Vec<UserId>,
     ) -> SocialGraph {
-        debug_assert_eq!(friends.len(), fans.len());
+        debug_assert_eq!(friend_offsets.len(), fan_offsets.len());
+        debug_assert_eq!(friend_offsets.last(), Some(&(friend_targets.len() as u32)));
+        debug_assert_eq!(fan_offsets.last(), Some(&(fan_targets.len() as u32)));
+        debug_assert_eq!(friend_targets.len(), fan_targets.len());
         SocialGraph {
-            friends,
-            fans,
-            edge_count,
+            friend_offsets,
+            friend_targets,
+            fan_offsets,
+            fan_targets,
         }
     }
 
     /// A graph with `n` users and no edges.
     pub fn empty(n: usize) -> SocialGraph {
         SocialGraph {
-            friends: vec![Vec::new(); n],
-            fans: vec![Vec::new(); n],
-            edge_count: 0,
+            friend_offsets: vec![0; n + 1],
+            friend_targets: Vec::new(),
+            fan_offsets: vec![0; n + 1],
+            fan_targets: Vec::new(),
         }
     }
 
     /// Number of users (nodes).
     pub fn user_count(&self) -> usize {
-        self.friends.len()
+        self.friend_offsets.len() - 1
     }
 
     /// Number of watch edges.
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.friend_targets.len()
+    }
+
+    #[inline]
+    fn row<'a>(offsets: &[u32], targets: &'a [UserId], u: usize) -> &'a [UserId] {
+        &targets[offsets[u] as usize..offsets[u + 1] as usize]
     }
 
     /// Users that `a` watches, sorted ascending.
@@ -76,8 +99,9 @@ impl SocialGraph {
     /// # Panics
     ///
     /// Panics if `a` is out of range (ids come from this graph).
+    #[inline]
     pub fn friends(&self, a: UserId) -> &[UserId] {
-        &self.friends[a.index()]
+        Self::row(&self.friend_offsets, &self.friend_targets, a.index())
     }
 
     /// Users watching `b` (its fans), sorted ascending.
@@ -85,24 +109,29 @@ impl SocialGraph {
     /// # Panics
     ///
     /// Panics if `b` is out of range.
+    #[inline]
     pub fn fans(&self, b: UserId) -> &[UserId] {
-        &self.fans[b.index()]
+        Self::row(&self.fan_offsets, &self.fan_targets, b.index())
     }
 
     /// Out-degree: how many users `a` watches.
+    #[inline]
     pub fn friend_count(&self, a: UserId) -> usize {
-        self.friends[a.index()].len()
+        let i = a.index();
+        (self.friend_offsets[i + 1] - self.friend_offsets[i]) as usize
     }
 
     /// In-degree: how many fans `b` has. This is the quantity the
     /// paper calls `fans1` when `b` is a story's submitter.
+    #[inline]
     pub fn fan_count(&self, b: UserId) -> usize {
-        self.fans[b.index()].len()
+        let i = b.index();
+        (self.fan_offsets[i + 1] - self.fan_offsets[i]) as usize
     }
 
     /// Does `a` watch `b`? (Is `a` a fan of `b`?)
     pub fn watches(&self, a: UserId, b: UserId) -> bool {
-        self.friends[a.index()].binary_search(&b).is_ok()
+        self.friends(a).binary_search(&b).is_ok()
     }
 
     /// Is `a` a fan of *any* of the given users? This is the cascade
@@ -117,8 +146,9 @@ impl SocialGraph {
 
     /// Iterate all watch edges `(fan, watched)` in ascending order.
     pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
-        self.friends.iter().enumerate().flat_map(|(a, outs)| {
-            outs.iter()
+        (0..self.user_count()).flat_map(move |a| {
+            self.friends(UserId::from_index(a))
+                .iter()
                 .map(move |&b| (UserId::from_index(a), b))
         })
     }
@@ -228,10 +258,7 @@ mod tests {
         assert!(sub.watches(UserId(0), UserId(1)));
         assert!(!sub.watches(UserId(1), UserId(2)));
         // Full membership reproduces the graph; empty gives no edges.
-        assert_eq!(
-            g.induced_subgraph(&[UserId(0), UserId(1), UserId(2)]),
-            g
-        );
+        assert_eq!(g.induced_subgraph(&[UserId(0), UserId(1), UserId(2)]), g);
         assert_eq!(g.induced_subgraph(&[]).edge_count(), 0);
     }
 

@@ -8,9 +8,7 @@ use std::fmt;
 ///
 /// Stored as `u32`: the complete June-2006 dataset involves ~17k users
 /// and even aggressive synthetic populations stay far below 4 billion.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct UserId(pub u32);
 

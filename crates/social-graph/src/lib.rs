@@ -19,8 +19,11 @@
 //! Modules:
 //!
 //! * [`id`] — compact user identifiers.
-//! * [`graph`] — immutable [`SocialGraph`] with O(log d) edge queries.
+//! * [`graph`] — immutable CSR [`SocialGraph`] with O(log d) edge
+//!   queries and contiguous adjacency rows.
 //! * [`builder`] — incremental construction and deduplication.
+//! * [`visit`] — [`VisitBuffer`], an epoch-stamped user-set scratch
+//!   with O(1) clear for per-story sweeps.
 //! * [`traversal`] — BFS, reachability, weakly connected components.
 //! * [`metrics`] — degree sequences, reciprocity, density, clustering.
 //! * [`temporal`] — dated fan links and as-of-date snapshot
@@ -43,7 +46,9 @@ pub mod metrics;
 pub mod sampling;
 pub mod temporal;
 pub mod traversal;
+pub mod visit;
 
 pub use builder::GraphBuilder;
 pub use graph::SocialGraph;
 pub use id::UserId;
+pub use visit::VisitBuffer;

@@ -23,12 +23,7 @@ pub fn friend_counts(g: &SocialGraph) -> Vec<u64> {
 /// log axes).
 pub fn friends_fans_scatter(g: &SocialGraph) -> Vec<(f64, f64)> {
     g.users()
-        .map(|u| {
-            (
-                g.friend_count(u) as f64 + 1.0,
-                g.fan_count(u) as f64 + 1.0,
-            )
-        })
+        .map(|u| (g.friend_count(u) as f64 + 1.0, g.fan_count(u) as f64 + 1.0))
         .collect()
 }
 
@@ -50,10 +45,7 @@ pub fn reciprocity(g: &SocialGraph) -> f64 {
     if m == 0 {
         return 0.0;
     }
-    let mutual = g
-        .edges()
-        .filter(|&(a, b)| g.watches(b, a))
-        .count();
+    let mutual = g.edges().filter(|&(a, b)| g.watches(b, a)).count();
     mutual as f64 / m as f64
 }
 
@@ -61,12 +53,7 @@ pub fn reciprocity(g: &SocialGraph) -> f64 {
 /// fraction of pairs of neighbours that are themselves connected (in
 /// either direction). Users with fewer than two neighbours score 0.
 pub fn local_clustering(g: &SocialGraph, u: UserId) -> f64 {
-    let mut nbrs: Vec<UserId> = g
-        .friends(u)
-        .iter()
-        .chain(g.fans(u))
-        .copied()
-        .collect();
+    let mut nbrs: Vec<UserId> = g.friends(u).iter().chain(g.fans(u)).copied().collect();
     nbrs.sort_unstable();
     nbrs.dedup();
     let k = nbrs.len();

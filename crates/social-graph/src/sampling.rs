@@ -24,11 +24,7 @@ use std::collections::VecDeque;
 /// (depth 0 = fan lists of the seeds only). Returns the observed
 /// graph — all fan edges of every *fetched* user — over the original
 /// id space, plus the list of fetched users.
-pub fn snowball(
-    graph: &SocialGraph,
-    seeds: &[UserId],
-    depth: u32,
-) -> (SocialGraph, Vec<UserId>) {
+pub fn snowball(graph: &SocialGraph, seeds: &[UserId], depth: u32) -> (SocialGraph, Vec<UserId>) {
     let mut fetched = vec![false; graph.user_count()];
     let mut b = GraphBuilder::new(graph.user_count());
     let mut q: VecDeque<(UserId, u32)> = VecDeque::new();

@@ -131,7 +131,11 @@ mod tests {
         let mut t = TemporalFanList::new(3);
         t.add_link(UserId(0), UserId(1), 10, 100);
         t.add_link(UserId(0), UserId(2), 10, 300);
-        let created: Vec<Day> = t.fans_of(UserId(0)).iter().map(|l| l.link_created).collect();
+        let created: Vec<Day> = t
+            .fans_of(UserId(0))
+            .iter()
+            .map(|l| l.link_created)
+            .collect();
         assert_eq!(created, vec![300, 100]);
     }
 

@@ -1,0 +1,159 @@
+//! Epoch-stamped visit scratch.
+//!
+//! Story-level analytics repeatedly need small user sets (the fan
+//! union of prior voters, the voter set itself) over the same graph.
+//! A `HashSet` per story allocates and hashes; a `Vec<bool>` per story
+//! pays an O(user_count) clear. [`VisitBuffer`] keeps one `u32` stamp
+//! per user and bumps a generation counter to clear in O(1), so a
+//! caller processing thousands of stories allocates exactly once.
+
+use crate::id::UserId;
+
+/// A reusable set of [`UserId`]s with O(1) insert, membership test,
+/// and clear.
+///
+/// Membership is "stamp equals current epoch"; [`VisitBuffer::clear`]
+/// just increments the epoch. When the epoch wraps around `u32::MAX`
+/// the stamp array is zeroed once — amortised cost stays O(1).
+///
+/// # Examples
+///
+/// ```
+/// use social_graph::{UserId, VisitBuffer};
+///
+/// let mut seen = VisitBuffer::new(10);
+/// assert!(seen.insert(UserId(3)));
+/// assert!(!seen.insert(UserId(3))); // already present
+/// assert!(seen.contains(UserId(3)));
+/// assert_eq!(seen.len(), 1);
+/// seen.clear(); // O(1)
+/// assert!(!seen.contains(UserId(3)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisitBuffer {
+    stamps: Vec<u32>,
+    epoch: u32,
+    len: usize,
+}
+
+impl VisitBuffer {
+    /// A buffer covering users `0..n`, initially empty.
+    pub fn new(n: usize) -> VisitBuffer {
+        VisitBuffer {
+            stamps: vec![0; n],
+            // Epoch 0 would make freshly-zeroed stamps read as
+            // "present"; start at 1.
+            epoch: 1,
+            len: 0,
+        }
+    }
+
+    /// Number of users this buffer covers.
+    pub fn capacity(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Grow the id space to at least `n` users (never shrinks).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if n > self.stamps.len() {
+            self.stamps.resize(n, 0);
+        }
+    }
+
+    /// Number of users currently in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Add `u`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside the buffer's capacity.
+    #[inline]
+    pub fn insert(&mut self, u: UserId) -> bool {
+        let slot = &mut self.stamps[u.index()];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Is `u` in the set? Out-of-capacity ids are simply absent.
+    #[inline]
+    pub fn contains(&self, u: UserId) -> bool {
+        self.stamps.get(u.index()).copied() == Some(self.epoch)
+    }
+
+    /// Empty the set in O(1) (amortised; see type docs for the
+    /// wrap-around case).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_clear() {
+        let mut b = VisitBuffer::new(4);
+        assert!(b.is_empty());
+        assert!(b.insert(UserId(0)));
+        assert!(b.insert(UserId(3)));
+        assert!(!b.insert(UserId(0)));
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(UserId(0)));
+        assert!(!b.contains(UserId(1)));
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.contains(UserId(0)));
+        assert!(b.insert(UserId(0)));
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let b = VisitBuffer::new(2);
+        assert!(!b.contains(UserId(9)));
+    }
+
+    #[test]
+    fn ensure_capacity_grows() {
+        let mut b = VisitBuffer::new(1);
+        b.ensure_capacity(5);
+        assert_eq!(b.capacity(), 5);
+        assert!(b.insert(UserId(4)));
+        b.ensure_capacity(3); // never shrinks
+        assert_eq!(b.capacity(), 5);
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_cleanly() {
+        let mut b = VisitBuffer::new(2);
+        b.epoch = u32::MAX - 1;
+        b.insert(UserId(0));
+        b.clear(); // epoch -> MAX
+        assert!(!b.contains(UserId(0)));
+        b.insert(UserId(1));
+        b.clear(); // wraps: stamps zeroed, epoch back to 1
+        assert_eq!(b.epoch, 1);
+        assert!(!b.contains(UserId(1)));
+        assert!(b.insert(UserId(1)));
+        assert!(b.contains(UserId(1)));
+    }
+}

@@ -56,7 +56,11 @@ fn main() {
     println!(
         "   {} structural violations{}",
         violations.len(),
-        if violations.is_empty() { " (clean)" } else { "" }
+        if violations.is_empty() {
+            " (clean)"
+        } else {
+            ""
+        }
     );
     for v in violations.iter().take(5) {
         println!("   {v}");
@@ -72,7 +76,9 @@ fn main() {
     let csv_path = out_dir.join(format!("digg-dataset-{seed}.csv"));
     io::save(ds, &json_path).expect("write json");
     std::fs::write(&csv_path, io::to_csv(ds)).expect("write csv");
-    let json_kb = std::fs::metadata(&json_path).map(|m| m.len() / 1024).unwrap_or(0);
+    let json_kb = std::fs::metadata(&json_path)
+        .map(|m| m.len() / 1024)
+        .unwrap_or(0);
     println!("   {} ({json_kb} KiB)", json_path.display());
     println!("   {}", csv_path.display());
 

@@ -56,7 +56,10 @@ fn main() {
             "  phi={phi:.2}: home community {:.0}% active, other community {}",
             100.0 * out.saturation(&blocks[0]),
             match out.invasion_time(&blocks[1]) {
-                Some(t) => format!("invaded at step {t} ({:.0}% active)", 100.0 * out.saturation(&blocks[1])),
+                Some(t) => format!(
+                    "invaded at step {t} ({:.0}% active)",
+                    100.0 * out.saturation(&blocks[1])
+                ),
                 None => "never invaded".to_string(),
             }
         );

@@ -37,17 +37,15 @@ fn main() {
         let (mut cfg, pop) = scenario::june2006_small(seed);
         cfg.promoter = promoter;
         let graph = pop.graph.clone();
-        let top100: std::collections::HashSet<_> =
-            pop.ranking().into_iter().take(100).collect();
+        let top100: std::collections::HashSet<_> = pop.ranking().into_iter().take(100).collect();
         let mut sim = Sim::new(cfg, pop);
         let t0 = std::time::Instant::now();
         sim.run(days * DAY);
-        let promoted: Vec<_> = sim
-            .stories()
-            .iter()
-            .filter(|s| s.is_front_page())
-            .collect();
-        println!("== {name} ==  ({days} days simulated in {:.1?})", t0.elapsed());
+        let promoted: Vec<_> = sim.stories().iter().filter(|s| s.is_front_page()).collect();
+        println!(
+            "== {name} ==  ({days} days simulated in {:.1?})",
+            t0.elapsed()
+        );
         println!(
             "  promotions: {} ({:.1}/day)",
             promoted.len(),

@@ -53,7 +53,11 @@ fn promotion_boundary_is_exactly_43_at_promotion() {
     for s in sim.stories() {
         if let Some(t) = s.promoted_at() {
             let votes = s.votes.iter().filter(|v| v.at <= t).count();
-            assert!(votes >= PROMOTION_THRESHOLD, "story {} promoted at {votes}", s.id);
+            assert!(
+                votes >= PROMOTION_THRESHOLD,
+                "story {} promoted at {votes}",
+                s.id
+            );
             min_at_promo = min_at_promo.min(votes);
         }
     }
@@ -156,7 +160,10 @@ fn fig3_cascades_grow_with_vote_window() {
         .iter()
         .map(|c| c.values.iter().sum::<u64>() as f64 / c.values.len().max(1) as f64)
         .collect();
-    assert!(means[0] <= means[1] && means[1] <= means[2], "means {means:?}");
+    assert!(
+        means[0] <= means[1] && means[1] <= means[2],
+        "means {means:?}"
+    );
 }
 
 #[test]
@@ -171,7 +178,10 @@ fn fig2a_histogram_covers_all_stories() {
         .filter_map(|r| r.final_votes)
         .min()
         .unwrap();
-    assert!(min_final as usize >= PROMOTION_THRESHOLD, "min final {min_final}");
+    assert!(
+        min_final as usize >= PROMOTION_THRESHOLD,
+        "min final {min_final}"
+    );
 }
 
 #[test]
@@ -180,9 +190,17 @@ fn training_set_has_both_classes() {
     let (training, kept) =
         build_training_set(&ds.front_page, &ds.network, INTERESTINGNESS_THRESHOLD);
     assert_eq!(training.len(), kept.len());
-    assert!(training.len() >= 50, "only {} trainable stories", training.len());
+    assert!(
+        training.len() >= 50,
+        "only {} trainable stories",
+        training.len()
+    );
     let pos = training.positives();
-    assert!(pos > 0 && pos < training.len(), "degenerate labels: {pos}/{}", training.len());
+    assert!(
+        pos > 0 && pos < training.len(),
+        "degenerate labels: {pos}/{}",
+        training.len()
+    );
 }
 
 #[test]

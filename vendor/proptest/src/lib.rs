@@ -1,0 +1,438 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Property tests here are plain randomized tests: a [`Strategy`]
+//! produces values from a deterministic per-case RNG, the body runs,
+//! and `prop_assert*` failures abort the case with the case index and
+//! seed in the panic message. There is **no shrinking** — a failing
+//! case reports the seed so it can be replayed, but is not minimized.
+//! Case counts come from [`ProptestConfig`] (default 256, or the
+//! `PROPTEST_CASES` environment variable).
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value from `rng`.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// A strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            use rand::Rng;
+            // Finite full-ish range; NaN/inf would make most property
+            // bodies vacuously fail for uninteresting reasons.
+            rng.random_range(-1e12..1e12)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            use rand::Rng;
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` targeting a size in `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates don't grow the set, so bound the attempts in
+            // case the element domain is smaller than the target.
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 10 + 100 {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// A set of values from `element` with size (up to domain
+    /// exhaustion) in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The per-test driver behind the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Configuration for one `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Fixed base seed: runs are deterministic; a failing case's seed
+    /// is printed for replay.
+    const BASE_SEED: u64 = 0x9E3779B97F4A7C15;
+
+    /// Run `body` for each case with a per-case deterministic RNG.
+    pub fn run(config: ProptestConfig, mut body: impl FnMut(&mut TestRng) -> Result<(), String>) {
+        for case in 0..config.cases {
+            let seed = BASE_SEED.wrapping_add(u64::from(case).wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Err(msg) = body(&mut rng) {
+                panic!(
+                    "proptest case {case}/{} failed (seed {seed:#x}): {msg}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias so `prop::collection::vec(..)` works.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{:?} == {:?}` at {}:{}",
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: `{:?} != {:?}` at {}:{}",
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(..)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            $crate::test_runner::run($cfg, |__rng| {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::new_value(&__strategies, __rng);
+                let __res: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    Ok(())
+                })();
+                __res
+            });
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}

@@ -1,0 +1,528 @@
+//! Offline drop-in subset of the `serde_derive` macros.
+//!
+//! The real derive rests on `syn`/`quote`; neither is available
+//! offline, so this walks the raw [`proc_macro::TokenTree`] stream
+//! (item attributes → `struct`/`enum` keyword → name → body) and
+//! renders the generated impl as source text parsed back through
+//! [`std::str::FromStr`]. Field *types* are never parsed: generated
+//! code leans on inference (`serde::from_field(..)?` in struct-literal
+//! position), which is what lets the parser stay this small.
+//!
+//! Supported shapes — the full set used in this workspace:
+//! named structs, tuple structs (single-field ones and
+//! `#[serde(transparent)]` serialize as the inner value, like
+//! upstream), unit structs, and enums with unit / tuple / struct
+//! variants using upstream serde_json's "externally tagged" encoding.
+//! Field attribute `#[serde(skip)]` omits a field on serialize and
+//! fills it from `Default::default()` on deserialize. Generic types
+//! are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => serialize_named_struct(&item, fields),
+        Shape::TupleStruct(n) => serialize_tuple_struct(&item, *n),
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => serialize_enum(variants),
+    };
+    let src = format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}",
+        name = item.name
+    );
+    src.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => deserialize_named_struct(&item, fields),
+        Shape::TupleStruct(n) => deserialize_tuple_struct(&item, *n),
+        Shape::UnitStruct => format!("let _ = value; Ok({name})"),
+        Shape::Enum(variants) => deserialize_enum(&item, variants),
+    };
+    let src = format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::Value) -> Result<{name}, serde::DeError> {{\n{body}\n}}\n}}"
+    );
+    src.parse().unwrap()
+}
+
+// ---- item model ----
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes: `#` followed by a bracket group. Record
+    // `#[serde(transparent)]`, skip everything else (doc comments...).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if serde_attr_contains(g.stream(), "transparent") {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("serde_derive (vendored): expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected type name, found {other}"),
+    };
+    i += 1;
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive (vendored): generic types are not supported ({name})")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::Enum(parse_variants(g.stream()))
+            } else {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && !is_enum => Shape::UnitStruct,
+        other => panic!("serde_derive (vendored): unsupported item body for {name}: {other:?}"),
+    };
+
+    Item {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+/// Does a `[serde(...)]` attribute group body mention `word`?
+fn serde_attr_contains(attr_body: TokenStream, word: &str) -> bool {
+    let tokens: Vec<TokenTree> = attr_body.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == word))
+        }
+        _ => false,
+    }
+}
+
+/// Parse `{ attrs vis name: Type, ... }` keeping names + skip flags.
+/// Types are skipped by tracking `<`/`>` angle depth so commas inside
+/// `BTreeMap<K, V>` don't end the field early (function-pointer types
+/// with `->` are not supported).
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if serde_attr_contains(g.stream(), "skip") {
+                            skip = true;
+                        }
+                    }
+                    i += 2;
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive (vendored): expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive (vendored): expected `:` after field name, found {other}")
+            }
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Count fields of a tuple struct / tuple variant: top-level commas
+/// (outside `<>`) + 1, or 0 for an empty body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attributes (doc comments).
+        while let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive (vendored): expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional discriminant is unsupported; expect `,` or end.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("serde_derive (vendored): unexpected token after variant: {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- code generation: Serialize ----
+
+fn serialize_named_struct(item: &Item, fields: &[Field]) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    if item.transparent {
+        assert_eq!(
+            live.len(),
+            1,
+            "serde_derive (vendored): transparent struct {} must have exactly one unskipped field",
+            item.name
+        );
+        return format!("serde::Serialize::to_value(&self.{})", live[0].name);
+    }
+    let entries: Vec<String> = live
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), serde::Serialize::to_value(&self.{}))",
+                f.name, f.name
+            )
+        })
+        .collect();
+    format!("serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn serialize_tuple_struct(item: &Item, n: usize) -> String {
+    // Upstream serializes one-field tuple structs (newtypes) as the
+    // inner value whether or not marked transparent.
+    if n == 1 || item.transparent {
+        assert_eq!(
+            n, 1,
+            "serde_derive (vendored): transparent tuple struct {} must have one field",
+            item.name
+        );
+        return "serde::Serialize::to_value(&self.0)".to_string();
+    }
+    let entries: Vec<String> = (0..n)
+        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+        .collect();
+    format!("serde::Value::Array(vec![{}])", entries.join(", "))
+}
+
+fn serialize_enum(variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push(format!(
+                    "Self::{vn} => serde::Value::Str({vn:?}.to_string()),"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                arms.push(format!(
+                    "Self::{vn}(x0) => serde::Value::Object(vec![({vn:?}.to_string(), \
+                     serde::Serialize::to_value(x0))]),"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(x{i})"))
+                    .collect();
+                arms.push(format!(
+                    "Self::{vn}({binds}) => serde::Value::Object(vec![({vn:?}.to_string(), \
+                     serde::Value::Array(vec![{items}]))]),",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let entries: Vec<String> = live
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), serde::Serialize::to_value({}))",
+                            f.name, f.name
+                        )
+                    })
+                    .collect();
+                arms.push(format!(
+                    "Self::{vn} {{ {binds} }} => serde::Value::Object(vec![({vn:?}.to_string(), \
+                     serde::Value::Object(vec![{entries}]))]),",
+                    binds = binds.join(", "),
+                    entries = entries.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+// ---- code generation: Deserialize ----
+
+fn deserialize_named_struct(item: &Item, fields: &[Field]) -> String {
+    let name = &item.name;
+    if item.transparent {
+        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+        assert_eq!(
+            live.len(),
+            1,
+            "serde_derive (vendored): transparent struct {name} must have exactly one unskipped field"
+        );
+        let inner = &live[0].name;
+        let skipped: Vec<String> = fields
+            .iter()
+            .filter(|f| f.skip)
+            .map(|f| format!("{}: Default::default(),", f.name))
+            .collect();
+        return format!(
+            "Ok({name} {{ {inner}: serde::Deserialize::from_value(value)?, {} }})",
+            skipped.join(" ")
+        );
+    }
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: Default::default(),", f.name)
+            } else {
+                format!(
+                    "{fld}: serde::from_field(entries, {fld:?}, {name:?})?,",
+                    fld = f.name
+                )
+            }
+        })
+        .collect();
+    format!(
+        "let entries = value.as_object().ok_or_else(|| \
+         serde::DeError::expected(\"object\", {name:?}, value))?;\n\
+         Ok({name} {{ {} }})",
+        inits.join(" ")
+    )
+}
+
+fn deserialize_tuple_struct(item: &Item, n: usize) -> String {
+    let name = &item.name;
+    if n == 1 || item.transparent {
+        return format!("Ok({name}(serde::Deserialize::from_value(value)?))");
+    }
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+        .collect();
+    format!(
+        "let items = value.as_array().ok_or_else(|| \
+         serde::DeError::expected(\"array\", {name:?}, value))?;\n\
+         if items.len() != {n} {{ return Err(serde::DeError::custom(format!(\
+         \"expected {n} elements for {name}, found {{}}\", items.len()))); }}\n\
+         Ok({name}({}))",
+        elems.join(", ")
+    )
+}
+
+fn deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push(format!("{vn:?} => return Ok({name}::{vn}),"));
+            }
+            VariantKind::Tuple(1) => {
+                tagged_arms.push(format!(
+                    "{vn:?} => return Ok({name}::{vn}(serde::Deserialize::from_value(content)?)),"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "{vn:?} => {{\n\
+                     let items = content.as_array().ok_or_else(|| \
+                     serde::DeError::expected(\"array\", {name:?}, content))?;\n\
+                     if items.len() != {n} {{ return Err(serde::DeError::custom(format!(\
+                     \"expected {n} elements for {name}::{vn}, found {{}}\", items.len()))); }}\n\
+                     return Ok({name}::{vn}({elems}));\n}}",
+                    elems = elems.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: Default::default(),", f.name)
+                        } else {
+                            format!(
+                                "{fld}: serde::from_field(entries, {fld:?}, {name:?})?,",
+                                fld = f.name
+                            )
+                        }
+                    })
+                    .collect();
+                tagged_arms.push(format!(
+                    "{vn:?} => {{\n\
+                     let entries = content.as_object().ok_or_else(|| \
+                     serde::DeError::expected(\"object\", {name:?}, content))?;\n\
+                     return Ok({name}::{vn} {{ {inits} }});\n}}",
+                    inits = inits.join(" ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+         serde::Value::Str(s) => match s.as_str() {{\n\
+         {units}\n\
+         _ => {{}}\n\
+         }},\n\
+         serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+         let (tag, content) = &entries[0];\n\
+         match tag.as_str() {{\n\
+         {tagged}\n\
+         _ => {{}}\n\
+         }}\n\
+         }}\n\
+         _ => {{}}\n\
+         }}\n\
+         Err(serde::DeError::expected(\"a {name} variant\", {name:?}, value))",
+        units = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n")
+    )
+}
