@@ -40,7 +40,12 @@ pub struct BaselineRecord {
 }
 
 impl BaselineRecord {
-    fn new(experiment: &str, seed_ms: f64, new_ms: f64, new_single_ms: f64) -> BaselineRecord {
+    pub(crate) fn new(
+        experiment: &str,
+        seed_ms: f64,
+        new_ms: f64,
+        new_single_ms: f64,
+    ) -> BaselineRecord {
         BaselineRecord {
             experiment: experiment.to_string(),
             seed_ms,

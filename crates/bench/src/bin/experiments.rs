@@ -46,13 +46,16 @@ fn main() {
             .collect()
     };
 
-    let synthesis = shared_synthesis();
+    // Dispatch is lazy: the shared synthesis is built only when a
+    // selected experiment (or --baseline) actually needs it, so the
+    // standalone sweep experiments run without the multi-day
+    // simulation.
     let mut ok = true;
     for spec in specs {
-        ok &= run_spec(spec, synthesis);
+        ok &= run_spec(spec);
     }
     if with_baseline {
-        let rows = baseline::compare(synthesis);
+        let rows = baseline::compare(shared_synthesis());
         println!("{}", baseline::render(&rows));
         record_baselines(rows);
     }

@@ -15,6 +15,10 @@
 //! * [`baseline`] — the pre-refactor (seed) implementations of fig3 /
 //!   scatter / intext, timed against the sweep engine and verified to
 //!   produce identical results.
+//! * [`sweeps`] — the standalone scenario-sweep experiments
+//!   (`sim_sweep`, `epi_sweep`): parallel `(config, seed)` fan-outs on
+//!   the `des-core` event kernels, with tick-loop/scan-model
+//!   equivalence checks and kernel timing rows.
 //! * `benches/*` — Criterion benches. `figures.rs` times every
 //!   analysis that regenerates a figure (on a shared synthesized
 //!   dataset); `perf.rs` times the substrates (graph ops, simulator
@@ -30,6 +34,7 @@
 pub mod ablations;
 pub mod baseline;
 pub mod registry;
+pub mod sweeps;
 
 use digg_data::synth::{synthesize, SynthConfig, Synthesis};
 use std::io::Write;

@@ -1,6 +1,9 @@
 //! Experiment registry: one [`ExperimentSpec`] per paper artifact,
-//! mapping a stable name to a runner (synthesis → [`Artifact`]s) so a
-//! single dispatcher replaces the old copy-paste binaries.
+//! mapping a stable name to a [`Runner`] so a single dispatcher
+//! replaces the old copy-paste binaries. A runner is either
+//! [`Runner::Synth`] (consumes the shared June-2006 synthesis, built
+//! lazily on first use) or [`Runner::Standalone`] (self-contained, fed
+//! only the seed — the scenario-sweep experiments).
 //!
 //! Every run is timed; [`write_bench_summary`] persists wall-time and
 //! stories/sec per experiment (plus any seed-baseline comparisons from
@@ -51,17 +54,38 @@ impl Artifact {
     }
 }
 
+/// How an experiment runs: against the shared June-2006 synthesis, or
+/// standalone from just a seed.
+///
+/// The split is what makes dispatch *lazy*: the multi-day synthesis is
+/// built only when a selected experiment actually needs it, so
+/// `experiments --list` and the standalone sweep experiments never pay
+/// for it.
+pub enum Runner {
+    /// Runs on the shared synthesis.
+    Synth {
+        /// Input size used for the throughput rate: stories for the
+        /// story-level analyses, users for the scatter figure.
+        stories: fn(&Synthesis) -> usize,
+        /// Produce the artifacts.
+        run: fn(&Synthesis) -> Vec<Artifact>,
+    },
+    /// Self-contained: receives the run seed, returns artifacts plus
+    /// the number of work units (scenarios) executed.
+    Standalone {
+        /// Produce the artifacts and the unit count.
+        run: fn(u64) -> (Vec<Artifact>, usize),
+    },
+}
+
 /// A named experiment: how to run it and how big its input is.
 pub struct ExperimentSpec {
     /// Stable name (the old binary name).
     pub name: &'static str,
     /// One-line description for `--list`.
     pub about: &'static str,
-    /// Input size used for the stories/sec rate: stories for the
-    /// story-level analyses, users for the scatter figure.
-    pub stories: fn(&Synthesis) -> usize,
-    /// Produce the artifacts.
-    pub run: fn(&Synthesis) -> Vec<Artifact>,
+    /// How to run it.
+    pub runner: Runner,
 }
 
 /// Wall-time record of one experiment run.
@@ -71,9 +95,12 @@ pub struct RunRecord {
     pub experiment: String,
     /// Wall time of the runner in milliseconds.
     pub wall_ms: f64,
-    /// Input size (stories; users for `scatter`).
+    /// Input size (stories; users for `scatter`; scenarios for the
+    /// sweep experiments).
     pub stories: usize,
-    /// Throughput.
+    /// What `stories` counts: `"stories"` or `"scenarios"`.
+    pub unit: &'static str,
+    /// Throughput in `unit`s per second.
     pub stories_per_sec: f64,
 }
 
@@ -212,56 +239,88 @@ pub static REGISTRY: &[ExperimentSpec] = &[
     ExperimentSpec {
         name: "fig1",
         about: "vote time series of sampled front-page stories",
-        stories: sim_stories,
-        run: run_fig1,
+        runner: Runner::Synth {
+            stories: sim_stories,
+            run: run_fig1,
+        },
     },
     ExperimentSpec {
         name: "fig2",
         about: "final-vote histogram and per-user activity distributions",
-        stories: all_records,
-        run: run_fig2,
+        runner: Runner::Synth {
+            stories: all_records,
+            run: run_fig2,
+        },
     },
     ExperimentSpec {
         name: "fig3",
         about: "story influence and cascade-size histograms",
-        stories: fp,
-        run: run_fig3,
+        runner: Runner::Synth {
+            stories: fp,
+            run: run_fig3,
+        },
     },
     ExperimentSpec {
         name: "fig4",
         about: "final votes vs early in-network votes (inverse relationship)",
-        stories: fp,
-        run: run_fig4,
+        runner: Runner::Synth {
+            stories: fp,
+            run: run_fig4,
+        },
     },
     ExperimentSpec {
         name: "fig5",
         about: "C4.5 interestingness tree and cross-validation",
-        stories: fp,
-        run: run_fig5,
+        runner: Runner::Synth {
+            stories: fp,
+            run: run_fig5,
+        },
     },
     ExperimentSpec {
         name: "prediction",
         about: "upcoming-queue holdout precision vs the promoter",
-        stories: all_records,
-        run: run_prediction,
+        runner: Runner::Synth {
+            stories: all_records,
+            run: run_prediction,
+        },
     },
     ExperimentSpec {
         name: "scatter",
         about: "friends vs fans scatter with top users highlighted",
-        stories: |s| s.dataset.network.user_count(),
-        run: run_scatter,
+        runner: Runner::Synth {
+            stories: |s| s.dataset.network.user_count(),
+            run: run_scatter,
+        },
     },
     ExperimentSpec {
         name: "intext",
         about: "section-3 in-text statistics and dataset invariants",
-        stories: sim_stories,
-        run: run_intext,
+        runner: Runner::Synth {
+            stories: sim_stories,
+            run: run_intext,
+        },
     },
     ExperimentSpec {
         name: "decay",
         about: "post-promotion interest decay (Wu-Huberman half-life)",
-        stories: sim_stories,
-        run: run_decay,
+        runner: Runner::Synth {
+            stories: sim_stories,
+            run: run_decay,
+        },
+    },
+    ExperimentSpec {
+        name: "sim_sweep",
+        about: "parallel (config, seed) simulator sweep + tick-loop equivalence",
+        runner: Runner::Standalone {
+            run: crate::sweeps::run_sim_sweep,
+        },
+    },
+    ExperimentSpec {
+        name: "epi_sweep",
+        about: "parallel SIR/cascade sweep on the event kernel + scan equivalence",
+        runner: Runner::Standalone {
+            run: crate::sweeps::run_epi_sweep,
+        },
     },
 ];
 
@@ -272,15 +331,27 @@ pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
 
 /// Run one experiment: time the runner, emit every artifact, record a
 /// [`RunRecord`]. Returns whether all artifacts passed.
-pub fn run_spec(spec: &ExperimentSpec, synthesis: &Synthesis) -> bool {
+///
+/// The shared synthesis is built lazily: standalone experiments (and
+/// `--list`, which never gets here) do not trigger it.
+pub fn run_spec(spec: &ExperimentSpec) -> bool {
     let t0 = Instant::now();
-    let artifacts = (spec.run)(synthesis);
+    let (artifacts, stories, unit) = match spec.runner {
+        Runner::Synth { stories, run } => {
+            let synthesis = shared_synthesis();
+            (run(synthesis), stories(synthesis), "stories")
+        }
+        Runner::Standalone { run } => {
+            let (artifacts, scenarios) = run(seed_from_env());
+            (artifacts, scenarios, "scenarios")
+        }
+    };
     let wall = t0.elapsed();
-    let stories = (spec.stories)(synthesis);
     RUNS.lock().unwrap().push(RunRecord {
         experiment: spec.name.to_string(),
         wall_ms: wall.as_secs_f64() * 1e3,
         stories,
+        unit,
         stories_per_sec: stories as f64 / wall.as_secs_f64().max(1e-9),
     });
     let mut ok = true;
@@ -328,7 +399,7 @@ pub fn write_bench_summary() {
 /// an artifact fails its checks (e.g. intext violations).
 pub fn main_for(name: &str) {
     let spec = find(name).unwrap_or_else(|| panic!("unknown experiment {name:?}"));
-    let ok = run_spec(spec, shared_synthesis());
+    let ok = run_spec(spec);
     write_bench_summary();
     if !ok {
         std::process::exit(1);
@@ -339,10 +410,9 @@ pub fn main_for(name: &str) {
 /// registry order on one shared synthesis.
 pub fn main_for_all() {
     println!("=== Reproduction report: Lerman & Galstyan, WOSN'08 ===\n");
-    let synthesis = shared_synthesis();
     let mut ok = true;
     for spec in REGISTRY {
-        ok &= run_spec(spec, synthesis);
+        ok &= run_spec(spec);
     }
     write_bench_summary();
     if !ok {

@@ -1,0 +1,40 @@
+//! The sweep experiments' artifact payloads must be byte-identical at
+//! any worker-thread count.
+//!
+//! `DIGG_THREADS` is parsed in exactly one place —
+//! [`digg_core::worker_threads`] (a re-export of
+//! `des_core::par::worker_threads`) — and flows into the payload
+//! builders as a plain `threads` argument, which is what these tests
+//! drive directly with the values `DIGG_THREADS=1`, `2`, and `8` would
+//! produce (mutating the process environment from tests is racy, and
+//! the crate forbids unsafe code). The payloads carry no timings, so
+//! the assertion is exact serialized equality, not "equal modulo
+//! noise".
+
+use digg_bench::sweeps::{epi_sweep_payload, sim_sweep_payload};
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("payload serializes")
+}
+
+#[test]
+fn sim_sweep_payload_is_thread_invariant() {
+    let base = sim_sweep_payload(2006, 1);
+    assert!(base.equivalence.iter().all(|e| e.ok));
+    for threads in [2, 8] {
+        let other = sim_sweep_payload(2006, threads);
+        assert_eq!(base, other, "diverged at {threads} threads");
+        assert_eq!(json(&base), json(&other));
+    }
+}
+
+#[test]
+fn epi_sweep_payload_is_thread_invariant() {
+    let base = epi_sweep_payload(2006, 1);
+    assert!(base.cascade_exact);
+    for threads in [2, 8] {
+        let other = epi_sweep_payload(2006, threads);
+        assert_eq!(base, other, "diverged at {threads} threads");
+        assert_eq!(json(&base), json(&other));
+    }
+}

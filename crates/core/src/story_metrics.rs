@@ -156,57 +156,12 @@ impl StorySweep {
     }
 }
 
-/// Worker-thread count for the experiment fan-out: the `DIGG_THREADS`
-/// environment variable when set to a positive integer, otherwise the
-/// machine's available parallelism.
-///
-/// Results never depend on this value — see [`par_map`] — so it is a
-/// pure throughput knob.
-pub fn worker_threads() -> usize {
-    std::env::var("DIGG_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-}
-
-/// How many items each worker chunk gets: `ceil(n / threads)`, at
-/// least 1.
-fn chunk_size(n: usize, threads: usize) -> usize {
-    n.div_ceil(threads.max(1)).max(1)
-}
-
-/// Deterministic parallel map: `out[i] == f(&items[i])` regardless of
-/// `threads`. Items are split into contiguous chunks, one scoped
-/// thread per chunk, and per-chunk outputs are concatenated in chunk
-/// order — bit-identical results at any thread count.
-pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let chunk = chunk_size(items.len(), threads);
-    if chunk >= items.len() {
-        return items.iter().map(f).collect();
-    }
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for h in handles {
-            out.extend(h.join().expect("worker thread panicked"));
-        }
-        out
-    })
-}
+// The deterministic fan-out primitives (`worker_threads`, `chunk_size`,
+// `par_map`, `par_fold`) moved to `des-core::par` so the scenario-sweep
+// runner in `digg-sim` can share them; re-exported here so every
+// existing `digg_core::{par_map, worker_threads, …}` path keeps
+// working. `DIGG_THREADS` is parsed in exactly one place: des-core.
+pub use des_core::par::{chunk_size, par_fold, par_map, worker_threads};
 
 /// [`par_map`] handing each worker thread its own [`StorySweeper`]
 /// sized for `graph` — the batch path for per-story analytics: one
@@ -237,55 +192,6 @@ where
         let mut out = Vec::with_capacity(items.len());
         for h in handles {
             out.extend(h.join().expect("worker thread panicked"));
-        }
-        out
-    })
-}
-
-/// Deterministic parallel fold: each contiguous chunk is folded on its
-/// own thread into an accumulator from `make`, and the per-chunk
-/// accumulators are merged **in chunk order** with `merge` — so any
-/// order-sensitive accumulator still produces thread-count-independent
-/// results.
-pub fn par_fold<T, A, F, M>(
-    items: &[T],
-    threads: usize,
-    make: impl Fn() -> A + Sync,
-    fold: F,
-    merge: M,
-) -> A
-where
-    T: Sync,
-    A: Send,
-    F: Fn(&mut A, &T) + Sync,
-    M: Fn(&mut A, A),
-{
-    let chunk = chunk_size(items.len(), threads);
-    if chunk >= items.len() {
-        let mut acc = make();
-        for t in items {
-            fold(&mut acc, t);
-        }
-        return acc;
-    }
-    std::thread::scope(|scope| {
-        let fold = &fold;
-        let make = &make;
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    let mut acc = make();
-                    for t in part {
-                        fold(&mut acc, t);
-                    }
-                    acc
-                })
-            })
-            .collect();
-        let mut out = make();
-        for h in handles {
-            merge(&mut out, h.join().expect("worker thread panicked"));
         }
         out
     })

@@ -1,0 +1,156 @@
+//! Deterministic thread fan-out for batch work (moved here from
+//! `digg-core::story_metrics` so the analytics sweeps and the scenario
+//! runners share one implementation; `digg-core` re-exports these).
+//!
+//! Items are split into contiguous chunks, one scoped thread per
+//! chunk, and per-chunk outputs are recombined **in chunk order** — so
+//! results are bit-identical at any thread count and `DIGG_THREADS` is
+//! a pure throughput knob.
+
+/// Worker-thread count for batch fan-out: the `DIGG_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism.
+///
+/// Results never depend on this value — see [`par_map`] — so it is a
+/// pure throughput knob. This is the single parser of `DIGG_THREADS`
+/// in the workspace.
+pub fn worker_threads() -> usize {
+    std::env::var("DIGG_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// How many items each worker chunk gets: `ceil(n / threads)`, at
+/// least 1.
+pub fn chunk_size(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.max(1)).max(1)
+}
+
+/// Deterministic parallel map: `out[i] == f(&items[i])` regardless of
+/// `threads`. Items are split into contiguous chunks, one scoped
+/// thread per chunk, and per-chunk outputs are concatenated in chunk
+/// order — bit-identical results at any thread count.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunk = chunk_size(items.len(), threads);
+    if chunk >= items.len() {
+        return items.iter().map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+/// Deterministic parallel fold: each contiguous chunk is folded on its
+/// own thread into an accumulator from `make`, and the per-chunk
+/// accumulators are merged **in chunk order** with `merge` — so any
+/// order-sensitive accumulator still produces thread-count-independent
+/// results.
+pub fn par_fold<T, A, F, M>(
+    items: &[T],
+    threads: usize,
+    make: impl Fn() -> A + Sync,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    F: Fn(&mut A, &T) + Sync,
+    M: Fn(&mut A, A),
+{
+    let chunk = chunk_size(items.len(), threads);
+    if chunk >= items.len() {
+        let mut acc = make();
+        for t in items {
+            fold(&mut acc, t);
+        }
+        return acc;
+    }
+    std::thread::scope(|scope| {
+        let fold = &fold;
+        let make = &make;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut acc = make();
+                    for t in part {
+                        fold(&mut acc, t);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let mut out = make();
+        for h in handles {
+            merge(&mut out, h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_size_covers_all_items() {
+        for n in 0..40usize {
+            for threads in 1..10usize {
+                let c = chunk_size(n, threads);
+                assert!(c >= 1);
+                assert!(c * threads >= n, "n={n} threads={threads} chunk={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_at_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map(&items, threads, |x| x * x), serial);
+        }
+    }
+
+    #[test]
+    fn par_fold_preserves_chunk_order() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial: Vec<u64> = items.clone();
+        for threads in [1, 2, 5, 16] {
+            let folded = par_fold(
+                &items,
+                threads,
+                Vec::new,
+                |acc, &x| acc.push(x),
+                |acc, part| acc.extend(part),
+            );
+            assert_eq!(folded, serial);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The event queue: a binary heap with deterministic total order and
+//! tombstoned cancellation.
+//!
+//! Heap entries are keyed by `(time, class, seq)`:
+//!
+//! - `time` — when the event fires (any monotone `u64` clock);
+//! - `class` — a small caller-chosen tag ordering events that share a
+//!   timestamp (the simulator uses it to encode the tick loop's
+//!   intra-minute phase order: expiry before submissions before
+//!   exposures before browsing before external discovery);
+//! - `seq` — a queue-global insertion counter, so events with equal
+//!   `(time, class)` pop in FIFO order and the order is a pure function
+//!   of the schedule-call sequence, never of heap internals.
+//!
+//! Cancel and reschedule are O(log n) amortised without heap surgery:
+//! the `live` map holds the authoritative `seq` per [`EventId`], and a
+//! popped heap entry whose seq no longer matches is a tombstone,
+//! skipped silently.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Stable handle to a scheduled event, usable to cancel or reschedule
+/// it until it fires. Ids are never reused within one queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A fired event, as returned by [`EventQueue::pop`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event<T> {
+    pub time: u64,
+    pub class: u8,
+    pub id: EventId,
+    pub payload: T,
+}
+
+struct LiveEvent<T> {
+    seq: u64,
+    payload: T,
+}
+
+/// Deterministic priority queue of events carrying payloads of type
+/// `T`. See the module docs for the ordering contract.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(u64, u8, u64, EventId)>>,
+    live: HashMap<u64, LiveEvent<T>>,
+    next_id: u64,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_id: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of live (scheduled, not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Schedule `payload` at `(time, class)`; later schedules at the
+    /// same `(time, class)` fire after this one (FIFO).
+    pub fn schedule(&mut self, time: u64, class: u8, payload: T) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.push(id, time, class, payload);
+        id
+    }
+
+    fn push(&mut self, id: EventId, time: u64, class: u8, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((time, class, seq, id)));
+        self.live.insert(id.0, LiveEvent { seq, payload });
+    }
+
+    /// Cancel a pending event, returning its payload; `None` if it
+    /// already fired or was cancelled. The heap entry is left behind as
+    /// a tombstone and skipped on pop.
+    pub fn cancel(&mut self, id: EventId) -> Option<T> {
+        self.live.remove(&id.0).map(|e| e.payload)
+    }
+
+    /// Move a pending event to a new `(time, class)`, keeping its id
+    /// and payload. Equivalent to cancel + schedule: the event re-enters
+    /// FIFO order as if scheduled now. Returns false if the id is no
+    /// longer live.
+    pub fn reschedule(&mut self, id: EventId, time: u64, class: u8) -> bool {
+        match self.live.remove(&id.0) {
+            Some(e) => {
+                self.push(id, time, class, e.payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fire time of the next live event, without popping it.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        self.skim_tombstones();
+        self.heap.peek().map(|Reverse((t, ..))| *t)
+    }
+
+    /// Pop the next live event in `(time, class, seq)` order.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.skim_tombstones();
+        let Reverse((time, class, _seq, id)) = self.heap.pop()?;
+        let e = self
+            .live
+            .remove(&id.0)
+            .expect("skim_tombstones left a live head");
+        Some(Event {
+            time,
+            class,
+            id,
+            payload: e.payload,
+        })
+    }
+
+    /// Drop stale heap entries (cancelled, or superseded by a
+    /// reschedule) until the head is live.
+    fn skim_tombstones(&mut self) {
+        while let Some(Reverse((_, _, seq, id))) = self.heap.peek() {
+            match self.live.get(&id.0) {
+                Some(e) if e.seq == *seq => return,
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut EventQueue<&'static str>) -> Vec<(u64, u8, &'static str)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.time, e.class, e.payload));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_by_time_then_class_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1, "t5c1-first");
+        q.schedule(3, 2, "t3c2");
+        q.schedule(5, 0, "t5c0");
+        q.schedule(5, 1, "t5c1-second");
+        q.schedule(3, 1, "t3c1");
+        assert_eq!(
+            drain(&mut q),
+            vec![
+                (3, 1, "t3c1"),
+                (3, 2, "t3c2"),
+                (5, 0, "t5c0"),
+                (5, 1, "t5c1-first"),
+                (5, 1, "t5c1-second"),
+            ]
+        );
+    }
+
+    #[test]
+    fn cancel_removes_exactly_one_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, 0, "a");
+        q.schedule(1, 0, "b");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(a), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(drain(&mut q), vec![(1, 0, "b")]);
+        assert_eq!(q.cancel(a), None, "cancel after drain");
+    }
+
+    #[test]
+    fn reschedule_moves_and_requeues_fifo() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(10, 0, "a");
+        q.schedule(2, 0, "b");
+        assert!(q.reschedule(a, 2, 0), "live event reschedules");
+        // `a` re-entered after `b`, so FIFO puts it second.
+        assert_eq!(drain(&mut q), vec![(2, 0, "b"), (2, 0, "a")]);
+        assert!(!q.reschedule(a, 3, 0), "fired event does not");
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, 0, "a");
+        q.schedule(7, 0, "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(7));
+        let b = q.pop().unwrap();
+        assert_eq!((b.time, b.payload), (7, "b"));
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_across_the_queue_lifetime() {
+        let mut q = EventQueue::new();
+        let mut ids = std::collections::HashSet::new();
+        for i in 0..100u64 {
+            assert!(ids.insert(q.schedule(i % 7, 0, ())));
+        }
+        while q.pop().is_some() {}
+        for i in 0..100u64 {
+            assert!(ids.insert(q.schedule(i % 5, 0, ())));
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! Event-driven contagion on the `des-core` kernel.
+//!
+//! The step-loop models in [`crate::sir`], [`crate::sis`], and
+//! [`crate::cascade_model`] scan every infectious node (or, for
+//! cascades, every node) on every step. Here the same processes run as
+//! events on a [`des_core::EventQueue`], so a step costs work
+//! proportional to what actually happens in it:
+//!
+//! - **SIR** ([`sir`] / [`sir_with`]): a node infected at step `k`
+//!   stays infectious for `R ~ Geometric(gamma)` steps. Each out-edge
+//!   draws its first Bernoulli-success time `G ~ Geometric(beta)` and
+//!   schedules a single transmission attempt at `k + G` if it lands
+//!   inside the infectious window — in SIR a target never returns to
+//!   the susceptible pool, so later successes on the same edge can
+//!   never matter.
+//! - **SIS** ([`sis`]): as SIR, but recovery returns nodes to the
+//!   susceptible pool, so each infection episode carries its own
+//!   streams and attempts renew: after each attempt the edge draws the
+//!   next geometric gap until the episode ends. Attempts at a step are
+//!   processed before recoveries at the same step, mirroring the step
+//!   loop's transmit-then-recover order.
+//! - **Threshold cascades** ([`cascade`]): deterministic frontier
+//!   propagation. When a node activates at step `t`, each watcher gets
+//!   a source-count increment event at `t + 1`; a node activates when
+//!   its incremented count first crosses `phi` — bit-identical to the
+//!   full-scan model, which this module's tests assert.
+//!
+//! The stochastic kernels draw from per-entity [`StreamRng`] streams
+//! keyed by `(seed, salt, node/edge ids, episode)`: the values an edge
+//! consumes depend only on its identity, never on how events from
+//! other parts of the graph interleave. The geometric-gap construction
+//! is distributionally identical to the step loops' per-step Bernoulli
+//! coins (a geometric renewal process *is* the success-time process of
+//! i.i.d. Bernoulli trials; skipping trials against non-susceptible
+//! targets is the same thinning both versions apply), so the
+//! event-driven kernels reproduce the step loops in law, though not
+//! draw-for-draw.
+
+use crate::cascade_model::CascadeOutcome;
+use crate::sir::{SirOutcome, Spread, State};
+use crate::sis::SisOutcome;
+use des_core::{EventQueue, StreamRng};
+use rand::Rng;
+use social_graph::{SocialGraph, UserId};
+
+// Stream-key salts.
+const SALT_SIR_RECOVER: u64 = 1;
+const SALT_SIR_TRANSMIT: u64 = 2;
+const SALT_SIS_RECOVER: u64 = 3;
+const SALT_SIS_TRANSMIT: u64 = 4;
+
+// Intra-step event order: transmission attempts before recoveries,
+// matching the step loops.
+const CLASS_ATTEMPT: u8 = 0;
+const CLASS_RECOVER: u8 = 1;
+
+/// First success time of i.i.d. Bernoulli(`p`) trials, on `{1, 2, …}`:
+/// `None` when `p <= 0` (never succeeds) or the draw lands beyond any
+/// usable horizon.
+fn geometric(rng: &mut StreamRng, p: f64) -> Option<u64> {
+    if p <= 0.0 {
+        return None;
+    }
+    if p >= 1.0 {
+        return Some(1);
+    }
+    let u: f64 = rng.random();
+    let g = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+    if g >= u64::MAX as f64 {
+        return None;
+    }
+    Some(1 + g as u64)
+}
+
+// ----------------------------------------------------------------- SIR
+
+/// Event-driven SIR from the given seeds, spreading to fans only.
+/// Deterministic in `seed`; equivalent in distribution to
+/// [`crate::sir::run`].
+///
+/// # Panics
+///
+/// Panics if `beta` or `gamma` is outside `[0, 1]`.
+pub fn sir(
+    graph: &SocialGraph,
+    seeds: &[UserId],
+    beta: f64,
+    gamma: f64,
+    max_steps: usize,
+    seed: u64,
+) -> SirOutcome {
+    sir_with(graph, seeds, beta, gamma, max_steps, Spread::Fans, seed)
+}
+
+/// Event-driven SIR with an explicit [`Spread`] mode.
+///
+/// # Panics
+///
+/// Panics if `beta` or `gamma` is outside `[0, 1]`.
+pub fn sir_with(
+    graph: &SocialGraph,
+    seeds: &[UserId],
+    beta: f64,
+    gamma: f64,
+    max_steps: usize,
+    spread: Spread,
+    seed: u64,
+) -> SirOutcome {
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be a probability");
+    let n = graph.user_count();
+    let root = StreamRng::root(seed);
+    let max_steps = max_steps as u64;
+    let mut state = vec![State::Susceptible; n];
+    let mut events: EventQueue<UserId> = EventQueue::new();
+    let mut incidence = vec![0usize; max_steps as usize];
+    let mut total = 0usize;
+    // Last step on which any node is still infectious (clamped to the
+    // horizon): the step loop runs exactly this many steps.
+    let mut last_active = 0u64;
+
+    // Infect `u` at `step`: fix its infectious window from its
+    // recovery stream and schedule one attempt per out-edge at the
+    // edge's first Bernoulli-success time inside the window.
+    let mut infect = |u: UserId,
+                      step: u64,
+                      state: &mut Vec<State>,
+                      events: &mut EventQueue<UserId>,
+                      incidence: &mut Vec<usize>| {
+        state[u.index()] = State::Infectious;
+        total += 1;
+        if step > 0 {
+            incidence[step as usize - 1] += 1;
+        }
+        let mut rec = root.derive(SALT_SIR_RECOVER).derive(u.index() as u64);
+        let window_end = match geometric(&mut rec, gamma) {
+            Some(r) => step.saturating_add(r),
+            None => u64::MAX, // gamma == 0: infectious forever
+        };
+        last_active = last_active.max(window_end.min(max_steps));
+        let try_edge = |channel: u64, f: UserId, events: &mut EventQueue<UserId>| {
+            let mut tx = root
+                .derive(SALT_SIR_TRANSMIT)
+                .derive(channel)
+                .derive(u.index() as u64)
+                .derive(f.index() as u64);
+            if let Some(g) = geometric(&mut tx, beta) {
+                let t = step.saturating_add(g);
+                if t <= window_end && t <= max_steps {
+                    events.schedule(t, CLASS_ATTEMPT, f);
+                }
+            }
+        };
+        for &f in graph.fans(u) {
+            try_edge(0, f, events);
+        }
+        if spread == Spread::Undirected {
+            for &f in graph.friends(u) {
+                try_edge(1, f, events);
+            }
+        }
+    };
+
+    for &s in seeds {
+        if state[s.index()] == State::Susceptible {
+            infect(s, 0, &mut state, &mut events, &mut incidence);
+        }
+    }
+    while let Some(e) = events.pop() {
+        let f = e.payload;
+        if state[f.index()] == State::Susceptible {
+            infect(f, e.time, &mut state, &mut events, &mut incidence);
+        }
+    }
+    let duration = last_active as usize;
+    incidence.truncate(duration);
+    SirOutcome {
+        total_infected: total,
+        duration,
+        incidence,
+    }
+}
+
+// ----------------------------------------------------------------- SIS
+
+/// SIS event payloads: a transmission attempt carries its episode's
+/// edge stream so the renewal chain continues where it left off.
+enum SisEv {
+    Attempt {
+        target: UserId,
+        rng: StreamRng,
+        window_end: u64,
+    },
+    Recover(UserId),
+}
+
+/// Event-driven SIS for `steps` steps. Deterministic in `seed`;
+/// equivalent in distribution to [`crate::sis::run`].
+///
+/// # Panics
+///
+/// Panics if `beta` or `gamma` is outside `[0, 1]`.
+pub fn sis(
+    graph: &SocialGraph,
+    seeds: &[UserId],
+    beta: f64,
+    gamma: f64,
+    steps: usize,
+    seed: u64,
+) -> SisOutcome {
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    assert!((0.0..=1.0).contains(&gamma), "gamma must be a probability");
+    let n = graph.user_count();
+    let horizon = steps as u64;
+    let mut infected = vec![false; n];
+    let mut episodes = vec![0u64; n];
+    let mut events: EventQueue<SisEv> = EventQueue::new();
+    let mut cur = 0usize;
+
+    // Start a new infection episode for `u` at `step`.
+    let infect = |u: UserId,
+                  step: u64,
+                  infected: &mut Vec<bool>,
+                  episodes: &mut Vec<u64>,
+                  events: &mut EventQueue<SisEv>,
+                  cur: &mut usize| {
+        infected[u.index()] = true;
+        *cur += 1;
+        let episode = episodes[u.index()];
+        episodes[u.index()] += 1;
+        let mut rec = StreamRng::keyed(seed, &[SALT_SIS_RECOVER, u.index() as u64, episode]);
+        let window_end = match geometric(&mut rec, gamma) {
+            Some(r) => {
+                let end = step.saturating_add(r);
+                if end <= horizon {
+                    events.schedule(end, CLASS_RECOVER, SisEv::Recover(u));
+                }
+                end.min(horizon)
+            }
+            None => horizon, // gamma == 0: never recovers
+        };
+        for &f in graph.fans(u) {
+            let mut tx = StreamRng::keyed(
+                seed,
+                &[
+                    SALT_SIS_TRANSMIT,
+                    u.index() as u64,
+                    f.index() as u64,
+                    episode,
+                ],
+            );
+            if let Some(g) = geometric(&mut tx, beta) {
+                let t = step.saturating_add(g);
+                if t <= window_end {
+                    events.schedule(
+                        t,
+                        CLASS_ATTEMPT,
+                        SisEv::Attempt {
+                            target: f,
+                            rng: tx,
+                            window_end,
+                        },
+                    );
+                }
+            }
+        }
+    };
+
+    for &s in seeds {
+        if !infected[s.index()] {
+            infect(s, 0, &mut infected, &mut episodes, &mut events, &mut cur);
+        }
+    }
+
+    let mut prevalence = vec![0usize; steps];
+    let mut recorded = 0usize; // steps whose prevalence entry is final
+    while let Some(e) = events.pop() {
+        let t = e.time;
+        match e.payload {
+            SisEv::Attempt {
+                target,
+                mut rng,
+                window_end,
+            } => {
+                if !infected[target.index()] {
+                    infect(
+                        target,
+                        t,
+                        &mut infected,
+                        &mut episodes,
+                        &mut events,
+                        &mut cur,
+                    );
+                }
+                // Renew: the edge keeps attempting until its episode
+                // window closes.
+                if let Some(g) = geometric(&mut rng, beta) {
+                    let next = t.saturating_add(g);
+                    if next <= window_end {
+                        events.schedule(
+                            next,
+                            CLASS_ATTEMPT,
+                            SisEv::Attempt {
+                                target,
+                                rng,
+                                window_end,
+                            },
+                        );
+                    }
+                }
+            }
+            SisEv::Recover(u) => {
+                infected[u.index()] = false;
+                cur -= 1;
+            }
+        }
+        // Once every event at step `t` has drained, prevalence through
+        // step `t` is final.
+        if events.peek_time().map(|nt| nt > t).unwrap_or(true) {
+            while (recorded as u64) < t.min(horizon) {
+                prevalence[recorded] = cur;
+                recorded += 1;
+            }
+        }
+    }
+    // Quiet tail: the count no longer changes.
+    while recorded < steps {
+        prevalence[recorded] = cur;
+        recorded += 1;
+    }
+    let survived = prevalence.last().map(|&c| c > 0).unwrap_or(false);
+    SisOutcome {
+        prevalence,
+        survived,
+    }
+}
+
+// ------------------------------------------------------------ cascades
+
+/// Event-driven threshold cascade: bit-identical outcomes to
+/// [`crate::cascade_model::run`], but work scales with activations and
+/// frontier edges instead of `nodes x steps`.
+///
+/// # Panics
+///
+/// Panics if `phi` is outside `[0, 1]`.
+pub fn cascade(
+    graph: &SocialGraph,
+    seeds: &[UserId],
+    phi: f64,
+    max_steps: usize,
+) -> CascadeOutcome {
+    assert!((0.0..=1.0).contains(&phi), "phi must be a fraction");
+    let n = graph.user_count();
+    let max_steps = max_steps as u64;
+    let mut activated_at: Vec<Option<u32>> = vec![None; n];
+    for &s in seeds {
+        activated_at[s.index()] = Some(0);
+    }
+
+    if phi == 0.0 {
+        // Degenerate threshold: every node with at least one source
+        // activates on the first step, sources active or not (the scan
+        // model's `0 / k >= 0` always holds).
+        if max_steps >= 1 {
+            for (u, slot) in activated_at.iter_mut().enumerate() {
+                if slot.is_none() && !graph.friends(UserId::from_index(u)).is_empty() {
+                    *slot = Some(1);
+                }
+            }
+        }
+    } else {
+        // An activation at step t raises each watcher's active-source
+        // count at step t + 1 (synchronous update, one event per edge).
+        let mut count = vec![0usize; n];
+        let mut events: EventQueue<UserId> = EventQueue::new();
+        for (u, slot) in activated_at.iter().enumerate() {
+            if *slot == Some(0) && max_steps >= 1 {
+                for &f in graph.fans(UserId::from_index(u)) {
+                    events.schedule(1, 0, f);
+                }
+            }
+        }
+        while let Some(e) = events.pop() {
+            let w = e.payload;
+            count[w.index()] += 1;
+            if activated_at[w.index()].is_some() {
+                continue;
+            }
+            let sources = graph.friends(w).len();
+            if count[w.index()] as f64 / sources as f64 >= phi {
+                activated_at[w.index()] = Some(e.time as u32);
+                if e.time < max_steps {
+                    for &f in graph.fans(w) {
+                        events.schedule(e.time + 1, 0, f);
+                    }
+                }
+            }
+        }
+    }
+
+    // Reconstruct the growth curve: cumulative active count after each
+    // productive step (threshold dynamics are monotone, so productive
+    // steps are a prefix).
+    let mut newly_per_step: std::collections::BTreeMap<u32, usize> = Default::default();
+    let mut cum = 0usize;
+    for a in activated_at.iter().flatten() {
+        if *a == 0 {
+            cum += 1;
+        } else {
+            *newly_per_step.entry(*a).or_default() += 1;
+        }
+    }
+    let mut growth = Vec::with_capacity(newly_per_step.len());
+    for (_, k) in newly_per_step {
+        cum += k;
+        growth.push(cum);
+    }
+    CascadeOutcome {
+        activated_at,
+        growth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cascade_model, sir as step_sir, sis as step_sis};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use social_graph::generators::{erdos_renyi, modular};
+    use social_graph::GraphBuilder;
+
+    fn chain(len: u32) -> SocialGraph {
+        let mut b = GraphBuilder::new(len as usize);
+        for i in 1..len {
+            b.add_watch(UserId(i), UserId(i - 1));
+        }
+        b.build()
+    }
+
+    // ------------------------------------------------------------- SIR
+
+    #[test]
+    fn sir_zero_beta_never_spreads() {
+        let mut r = StdRng::seed_from_u64(17);
+        let g = erdos_renyi(&mut r, 200, 0.05);
+        let out = sir(&g, &[UserId(0)], 0.0, 0.5, 100, 9);
+        assert_eq!(out.total_infected, 1);
+    }
+
+    #[test]
+    fn sir_full_beta_floods_a_connected_chain() {
+        let g = chain(3);
+        let out = sir(&g, &[UserId(0)], 1.0, 1.0, 100, 4);
+        assert_eq!(out.total_infected, 3);
+        assert_eq!(out.duration, 3);
+        // One hop per step, then the last node's idle infectious step.
+        assert_eq!(out.incidence, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn sir_is_deterministic_per_seed_and_varies_across_seeds() {
+        let mut r = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(&mut r, 300, 0.03);
+        let a = sir(&g, &[UserId(0)], 0.4, 0.4, 500, 7);
+        let b = sir(&g, &[UserId(0)], 0.4, 0.4, 500, 7);
+        assert_eq!(a, b);
+        let sizes: std::collections::HashSet<usize> = (0..8)
+            .map(|s| sir(&g, &[UserId(0)], 0.4, 0.4, 500, s).total_infected)
+            .collect();
+        assert!(sizes.len() > 1, "all seeds identical: {sizes:?}");
+    }
+
+    #[test]
+    fn sir_incidence_accounts_for_every_nonseed_infection() {
+        let mut r = StdRng::seed_from_u64(11);
+        let g = erdos_renyi(&mut r, 250, 0.04);
+        let out = sir(&g, &[UserId(0), UserId(1)], 0.6, 0.3, 1000, 21);
+        let from_curve: usize = out.incidence.iter().sum();
+        assert_eq!(out.total_infected, 2 + from_curve);
+        assert!(out.incidence.len() == out.duration);
+        assert!(out.attack_rate(250) > 0.5);
+    }
+
+    #[test]
+    fn sir_matches_step_model_in_distribution() {
+        // Same process, different drivers: mean attack rates over a
+        // bundle of runs must agree. Loose bounds — this is a
+        // statistical check, not an exactness one.
+        let mut r = StdRng::seed_from_u64(100);
+        let g = erdos_renyi(&mut r, 200, 0.04);
+        let runs = 40;
+        let step_mean: f64 = (0..runs)
+            .map(|i| {
+                let mut rr = StdRng::seed_from_u64(1000 + i);
+                step_sir::run(&mut rr, &g, &[UserId(0)], 0.5, 0.4, 500).attack_rate(200)
+            })
+            .sum::<f64>()
+            / runs as f64;
+        let des_mean: f64 = (0..runs)
+            .map(|i| sir(&g, &[UserId(0)], 0.5, 0.4, 500, 2000 + i).attack_rate(200))
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            (step_mean - des_mean).abs() < 0.12,
+            "step {step_mean} vs des {des_mean}"
+        );
+    }
+
+    #[test]
+    fn sir_undirected_reaches_at_least_as_far_as_fans() {
+        let g = chain(4);
+        // Seed the middle: fan-direction spread only reaches forward,
+        // the undirected projection also reaches back.
+        let fans = sir_with(&g, &[UserId(2)], 1.0, 1.0, 50, Spread::Fans, 1);
+        let undirected = sir_with(&g, &[UserId(2)], 1.0, 1.0, 50, Spread::Undirected, 1);
+        assert_eq!(fans.total_infected, 2); // 2 -> 3
+        assert_eq!(undirected.total_infected, 4); // both directions
+    }
+
+    #[test]
+    fn sir_empty_seeds_do_nothing() {
+        let mut r = StdRng::seed_from_u64(2);
+        let g = erdos_renyi(&mut r, 50, 0.05);
+        let out = sir(&g, &[], 0.5, 0.5, 100, 3);
+        assert_eq!(out.total_infected, 0);
+        assert_eq!(out.duration, 0);
+        assert!(out.incidence.is_empty());
+        let out = sir(&g, &[UserId(1), UserId(1)], 0.0, 1.0, 100, 3);
+        assert_eq!(out.total_infected, 1);
+    }
+
+    // ------------------------------------------------------------- SIS
+
+    #[test]
+    fn sis_zero_beta_dies_out() {
+        let mut r = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(&mut r, 200, 0.05);
+        let out = sis(&g, &[UserId(0)], 0.0, 0.5, 200, 8);
+        assert!(!out.survived);
+        assert_eq!(out.endemic_prevalence(200, 50), 0.0);
+    }
+
+    #[test]
+    fn sis_strong_infection_persists_on_dense_graph() {
+        let mut r = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(&mut r, 300, 0.05);
+        let out = sis(&g, &[UserId(0)], 0.6, 0.2, 300, 8);
+        assert!(out.survived, "infection died unexpectedly");
+        assert!(
+            out.endemic_prevalence(300, 100) > 0.3,
+            "prevalence {}",
+            out.endemic_prevalence(300, 100)
+        );
+    }
+
+    #[test]
+    fn sis_prevalence_trace_has_one_entry_per_step() {
+        let mut r = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(&mut r, 100, 0.05);
+        let out = sis(&g, &[UserId(0)], 0.3, 0.3, 123, 2);
+        assert_eq!(out.prevalence.len(), 123);
+    }
+
+    #[test]
+    fn sis_empty_seed_run_is_flat_zero() {
+        let mut r = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(&mut r, 50, 0.05);
+        let out = sis(&g, &[], 0.9, 0.1, 10, 1);
+        assert!(out.prevalence.iter().all(|&c| c == 0));
+        assert!(!out.survived);
+    }
+
+    #[test]
+    fn sis_matches_step_model_in_distribution() {
+        let mut r = StdRng::seed_from_u64(50);
+        let g = erdos_renyi(&mut r, 150, 0.06);
+        let runs = 30;
+        let step_mean: f64 = (0..runs)
+            .map(|i| {
+                let mut rr = StdRng::seed_from_u64(3000 + i);
+                step_sis::run(&mut rr, &g, &[UserId(0)], 0.5, 0.3, 200).endemic_prevalence(150, 50)
+            })
+            .sum::<f64>()
+            / runs as f64;
+        let des_mean: f64 = (0..runs)
+            .map(|i| sis(&g, &[UserId(0)], 0.5, 0.3, 200, 4000 + i).endemic_prevalence(150, 50))
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            (step_mean - des_mean).abs() < 0.12,
+            "step {step_mean} vs des {des_mean}"
+        );
+    }
+
+    // -------------------------------------------------------- cascades
+
+    fn assert_cascades_equal(g: &SocialGraph, seeds: &[UserId], phi: f64, max_steps: usize) {
+        let step = cascade_model::run(g, seeds, phi, max_steps);
+        let des = cascade(g, seeds, phi, max_steps);
+        assert_eq!(step, des, "phi={phi} seeds={seeds:?}");
+    }
+
+    #[test]
+    fn cascade_matches_step_model_on_small_structures() {
+        let line = chain(5);
+        assert_cascades_equal(&line, &[UserId(0)], 0.5, 100);
+        assert_cascades_equal(&line, &[UserId(0)], 0.0, 100);
+        assert_cascades_equal(&line, &[UserId(0)], 1.0, 100);
+        assert_cascades_equal(&line, &[], 0.3, 100);
+        assert_cascades_equal(&line, &[UserId(4)], 0.5, 100);
+        assert_cascades_equal(&line, &[UserId(0)], 0.5, 2); // horizon cut
+
+        // Node 3 watches 0, 1, 2; phi = 1 needs all three sources.
+        let mut b = GraphBuilder::new(4);
+        for s in 0..3u32 {
+            b.add_watch(UserId(3), UserId(s));
+        }
+        let g = b.build();
+        assert_cascades_equal(&g, &[UserId(0)], 1.0, 10);
+        assert_cascades_equal(&g, &[UserId(0), UserId(1), UserId(2)], 1.0, 10);
+
+        // No edges at all.
+        let empty = GraphBuilder::new(3).build();
+        assert_cascades_equal(&empty, &[UserId(0)], 0.1, 10);
+        assert_cascades_equal(&empty, &[UserId(0)], 0.0, 10);
+    }
+
+    #[test]
+    fn cascade_matches_step_model_on_random_modular_graphs() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 120;
+            let g = modular(&mut rng, n, 2, 0.25, 0.01);
+            let blocks = cascade_model::block_members(n, 2);
+            let seeds: Vec<UserId> = blocks[0][..8].to_vec();
+            for phi in [0.0, 0.1, 0.25, 0.5, 0.9] {
+                assert_cascades_equal(&g, &seeds, phi, 200);
+            }
+            assert_cascades_equal(&g, &seeds, 0.25, 3); // horizon cut
+        }
+    }
+
+    #[test]
+    fn cascade_growth_is_cumulative_and_monotone() {
+        let g = chain(5);
+        let out = cascade(&g, &[UserId(0)], 0.5, 100);
+        assert_eq!(out.growth, vec![2, 3, 4, 5]);
+        assert_eq!(out.activated_at[4], Some(4));
+        assert_eq!(out.total_active(), 5);
+    }
+}

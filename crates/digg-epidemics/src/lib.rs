@@ -19,6 +19,9 @@
 //! * [`cascade_model`] — deterministic-threshold ("complex
 //!   contagion") cascades and their transient dynamics on modular
 //!   networks (Galstyan & Cohen);
+//! * [`des`] — event-driven ports of the SIR/SIS and cascade models
+//!   onto the `des-core` kernel: same outcome types, work
+//!   proportional to what happens instead of `nodes × steps`;
 //! * [`community`] — modularity scoring and label-propagation
 //!   community detection (Girvan–Newman / Newman refs [6, 15]) used to
 //!   verify planted structure.
@@ -28,6 +31,7 @@
 
 pub mod cascade_model;
 pub mod community;
+pub mod des;
 pub mod sir;
 pub mod sis;
 pub mod threshold;

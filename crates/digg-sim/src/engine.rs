@@ -1,8 +1,10 @@
-//! The per-minute simulation loop.
+//! The event-driven simulation engine.
 //!
-//! Each tick processes, in a fixed order chosen for determinism:
+//! The simulator runs on the `des-core` kernel: a single
+//! [`EventQueue`] ordered by `(minute, class, seq)` where `class`
+//! encodes the intra-minute phase order the platform model fixes:
 //!
-//! 1. queue expiry (stories older than the queue lifetime leave);
+//! 1. queue expiry (per-story events — no per-minute rescans);
 //! 2. new submissions (Poisson arrivals; submitter drawn by
 //!    submission propensity);
 //! 3. due Friends-interface exposures → possible social votes;
@@ -14,10 +16,26 @@
 //! and (b) re-evaluates the promotion rule if the story is still in
 //! the queue — so, exactly as on Digg, no queue story can be observed
 //! with more votes than the promotion boundary.
+//!
+//! Two kernels drive the same handlers (see [`Kernel`]):
+//!
+//! - [`Kernel::Compat`] (the default) replays the seed tick loop
+//!   draw-for-draw: per-minute heartbeat events batch each phase's
+//!   Poisson arrivals, and all randomness comes from one `StdRng` in
+//!   the tick loop's exact call order. Results are byte-identical to
+//!   [`crate::baseline::TickSim`] whenever `feed_lifetime >= 1` (which
+//!   every shipped scenario satisfies; at `feed_lifetime == 0` the
+//!   tick loop delays same-minute exposures to the next drain while
+//!   the kernel fires them immediately).
+//! - [`Kernel::EventStreams`] is the fast path: arrivals become
+//!   exponential-gap events, idle minutes cost nothing, and every draw
+//!   comes from a per-entity counter-based [`StreamRng`], so the
+//!   sequence an entity consumes is independent of how events
+//!   interleave. Same model, same distributions, different (still
+//!   fully deterministic) sample path.
 
 use crate::config::{PromoterKind, SimConfig};
 use crate::decay::{novelty, sample_pages_viewed};
-use crate::feeds::ExposureQueue;
 use crate::frontpage::FrontPage;
 use crate::metrics::SimMetrics;
 use crate::population::Population;
@@ -25,11 +43,83 @@ use crate::promotion::{self, Promoter};
 use crate::queue::UpcomingQueue;
 use crate::story::{Story, StoryId, StoryStatus, VoteChannel};
 use crate::time::Minute;
+use des_core::{EventQueue, StreamRng};
 use digg_stats::distributions::{coin, exponential, poisson, LogNormal};
 use digg_stats::sampling::AliasTable;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use social_graph::UserId;
+use std::collections::HashSet;
+
+// Event classes: the fixed intra-minute phase order (see module docs).
+const CLASS_EXPIRY: u8 = 0;
+const CLASS_SUBMIT: u8 = 1;
+const CLASS_EXPOSE: u8 = 2;
+const CLASS_FRONT: u8 = 3;
+const CLASS_UPCOMING: u8 = 4;
+const CLASS_EXTERNAL: u8 = 5;
+
+// Stream-key salts (EventStreams kernel). Each logical entity draws
+// from `root.derive(SALT).derive(entity id…)`.
+const SALT_SUB_GAP: u64 = 1;
+const SALT_STORY_BODY: u64 = 2;
+const SALT_FRONT_GAP: u64 = 3;
+const SALT_FRONT_SESSION: u64 = 4;
+const SALT_UP_GAP: u64 = 5;
+const SALT_UP_SESSION: u64 = 6;
+const SALT_EXTERNAL: u64 = 7;
+const SALT_EXPOSE_SCHED: u64 = 8;
+const SALT_EXPOSE_FIRE: u64 = 9;
+
+/// Which driver produces the randomness and arrival structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Tick-loop replay: one `StdRng` consumed in the seed loop's call
+    /// order through per-minute heartbeat events. Byte-identical to
+    /// the [`crate::baseline::TickSim`] sample path.
+    #[default]
+    Compat,
+    /// Pure event scheduling with per-entity [`StreamRng`] streams:
+    /// idle minutes are skipped entirely, arrivals are exponential
+    /// gaps. Deterministic per seed, but a different sample path than
+    /// the tick loop.
+    EventStreams,
+}
+
+/// Event payloads routed through the kernel queue.
+enum Ev {
+    /// A story reaches the end of its queue lifetime.
+    Expiry(StoryId),
+    /// Compat: this minute's Poisson batch of submissions.
+    SubmitBatch,
+    /// Compat: this minute's front-page browsing sessions.
+    FrontBatch,
+    /// Compat: this minute's upcoming browsing sessions.
+    UpcomingBatch,
+    /// Compat: this minute's external-discovery scan.
+    ExternalBatch,
+    /// EventStreams: one submission arrives.
+    Submit,
+    /// EventStreams: one front-page browsing session.
+    FrontSession,
+    /// EventStreams: one upcoming browsing session.
+    UpSession,
+    /// EventStreams: one external reader discovers `story`. The
+    /// story's arrival-process stream and continuous clock ride in the
+    /// payload.
+    ExternalArrival {
+        story: StoryId,
+        rng: StreamRng,
+        tau: f64,
+    },
+    /// A fan's Friends-interface exposure to a story comes due.
+    Exposure {
+        fan: UserId,
+        story: StoryId,
+        triggered_at: Minute,
+        from_submitter: bool,
+    },
+}
 
 /// A running simulation.
 ///
@@ -51,30 +141,54 @@ use social_graph::UserId;
 pub struct Sim {
     cfg: SimConfig,
     pop: Population,
-    rng: StdRng,
+    kernel: Kernel,
     now: Minute,
     stories: Vec<Story>,
     queue: UpcomingQueue,
     front: FrontPage,
-    exposures: ExposureQueue,
+    events: EventQueue<Ev>,
+    /// `(fan, story)` pairs ever offered an exposure, to collapse
+    /// duplicate entries from multiple friends (the interface shows a
+    /// story once).
+    scheduled: HashSet<(UserId, StoryId)>,
     promoter: Box<dyn Promoter>,
     browse_table: AliasTable,
     submit_table: AliasTable,
     metrics: SimMetrics,
     niche_quality: LogNormal,
-    /// Index of the oldest story still inside the external-discovery
-    /// window (stories are indexed in submission order).
+    /// Compat: the tick loop's single RNG.
+    rng: StdRng,
+    /// Compat: index of the oldest story still inside the
+    /// external-discovery window.
     external_lo: usize,
+    /// EventStreams: root of the stream-key tree.
+    root: StreamRng,
+    /// EventStreams: submission inter-arrival stream and continuous
+    /// clock.
+    sub_gap: StreamRng,
+    sub_tau: f64,
+    front_gap: StreamRng,
+    front_tau: f64,
+    front_sessions: u64,
+    up_gap: StreamRng,
+    up_tau: f64,
+    up_sessions: u64,
 }
 
 impl Sim {
-    /// Create a simulation over an existing population.
+    /// Create a simulation over an existing population, on the default
+    /// [`Kernel::Compat`] driver.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid or the population size
     /// disagrees with `cfg.users`.
     pub fn new(cfg: SimConfig, pop: Population) -> Sim {
+        Sim::with_kernel(cfg, pop, Kernel::default())
+    }
+
+    /// Create a simulation on an explicit [`Kernel`].
+    pub fn with_kernel(cfg: SimConfig, pop: Population, kernel: Kernel) -> Sim {
         if let Err(e) = cfg.validate() {
             panic!("invalid SimConfig: {e}");
         }
@@ -90,10 +204,12 @@ impl Sim {
         let rng = StdRng::seed_from_u64(cfg.seed);
         let promoter = promotion::from_kind(cfg.promoter);
         let niche_quality = LogNormal::new(cfg.niche_quality_mu, cfg.niche_quality_sigma);
-        Sim {
+        let root = StreamRng::root(cfg.seed);
+        let mut sim = Sim {
             queue: UpcomingQueue::new(cfg.page_size, cfg.queue_lifetime),
             front: FrontPage::new(cfg.page_size),
-            exposures: ExposureQueue::new(),
+            events: EventQueue::new(),
+            scheduled: HashSet::new(),
             stories: Vec::new(),
             now: Minute::ZERO,
             metrics: SimMetrics::default(),
@@ -101,16 +217,47 @@ impl Sim {
             submit_table,
             promoter,
             niche_quality,
-            external_lo: 0,
             rng,
+            external_lo: 0,
+            root,
+            sub_gap: root.derive(SALT_SUB_GAP),
+            sub_tau: 0.0,
+            front_gap: root.derive(SALT_FRONT_GAP),
+            front_tau: 0.0,
+            front_sessions: 0,
+            up_gap: root.derive(SALT_UP_GAP),
+            up_tau: 0.0,
+            up_sessions: 0,
+            kernel,
             cfg,
             pop,
+        };
+        match sim.kernel {
+            Kernel::Compat => {
+                // One heartbeat per phase; each reschedules itself for
+                // the next minute, replaying the tick loop.
+                sim.events.schedule(1, CLASS_SUBMIT, Ev::SubmitBatch);
+                sim.events.schedule(1, CLASS_FRONT, Ev::FrontBatch);
+                sim.events.schedule(1, CLASS_UPCOMING, Ev::UpcomingBatch);
+                sim.events.schedule(1, CLASS_EXTERNAL, Ev::ExternalBatch);
+            }
+            Kernel::EventStreams => {
+                sim.schedule_next_submission();
+                sim.schedule_next_front_session();
+                sim.schedule_next_up_session();
+            }
         }
+        sim
     }
 
     /// Current simulated time.
     pub fn now(&self) -> Minute {
         self.now
+    }
+
+    /// The kernel driving this simulation.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// All stories, in submission order.
@@ -148,90 +295,205 @@ impl Sim {
         &self.cfg
     }
 
-    /// Advance the simulation by `minutes`.
+    /// Advance the simulation by `minutes`: drain every event due in
+    /// the window, then land on the horizon. Minutes with no events
+    /// cost nothing.
     pub fn run(&mut self, minutes: u64) {
-        for _ in 0..minutes {
-            self.step();
+        let horizon = self.now + minutes;
+        while let Some(t) = self.events.peek_time() {
+            if t > horizon.0 {
+                break;
+            }
+            let e = self.events.pop().expect("peeked event vanished");
+            // The clock only moves forward; events never fire early.
+            self.now = Minute(e.time.max(self.now.0));
+            self.handle(e.payload);
         }
+        self.now = horizon;
+        self.metrics.minutes += minutes;
     }
 
     /// Advance one minute.
     pub fn step(&mut self) {
-        self.now = self.now + 1;
-        self.metrics.minutes += 1;
-        self.expire_queue();
-        self.process_submissions();
-        self.process_exposures();
-        self.process_frontpage_browsing();
-        self.process_upcoming_browsing();
-        self.process_external();
+        self.run(1);
     }
 
-    // ------------------------------------------------------------ steps
+    // ---------------------------------------------------------- dispatch
 
-    fn expire_queue(&mut self) {
-        for id in self.queue.expire(self.now) {
-            let story = &mut self.stories[id.index()];
-            if story.is_upcoming() {
-                story.status = StoryStatus::Expired(self.now);
-                self.metrics.expirations += 1;
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Expiry(id) => self.on_expiry(id),
+            Ev::SubmitBatch => {
+                self.compat_submissions();
+                self.events
+                    .schedule(self.now.0 + 1, CLASS_SUBMIT, Ev::SubmitBatch);
             }
+            Ev::FrontBatch => {
+                self.compat_frontpage_browsing();
+                self.events
+                    .schedule(self.now.0 + 1, CLASS_FRONT, Ev::FrontBatch);
+            }
+            Ev::UpcomingBatch => {
+                self.compat_upcoming_browsing();
+                self.events
+                    .schedule(self.now.0 + 1, CLASS_UPCOMING, Ev::UpcomingBatch);
+            }
+            Ev::ExternalBatch => {
+                self.compat_external();
+                self.events
+                    .schedule(self.now.0 + 1, CLASS_EXTERNAL, Ev::ExternalBatch);
+            }
+            Ev::Submit => self.on_submit(),
+            Ev::FrontSession => {
+                let k = self.front_sessions;
+                self.front_sessions += 1;
+                let mut body = self.root.derive(SALT_FRONT_SESSION).derive(k);
+                self.browse_frontpage(&mut body);
+                self.schedule_next_front_session();
+            }
+            Ev::UpSession => {
+                let k = self.up_sessions;
+                self.up_sessions += 1;
+                let mut body = self.root.derive(SALT_UP_SESSION).derive(k);
+                self.browse_upcoming(&mut body);
+                self.schedule_next_up_session();
+            }
+            Ev::ExternalArrival { story, rng, tau } => self.on_external_arrival(story, rng, tau),
+            Ev::Exposure {
+                fan,
+                story,
+                triggered_at,
+                from_submitter,
+            } => self.on_exposure(fan, story, triggered_at, from_submitter),
         }
     }
 
-    fn process_submissions(&mut self) {
+    // ------------------------------------------------------------ expiry
+
+    /// Fires at `submitted_at + queue_lifetime + 1` — the first minute
+    /// the tick loop's strict `age > lifetime` test would have evicted
+    /// the story.
+    fn on_expiry(&mut self, id: StoryId) {
+        let story = &mut self.stories[id.index()];
+        if story.is_upcoming() {
+            story.status = StoryStatus::Expired(self.now);
+            self.metrics.expirations += 1;
+            self.queue.remove(id);
+        }
+    }
+
+    // ------------------------------------------------------- submissions
+
+    /// Shared submission bookkeeping once submitter and quality are
+    /// drawn: create the story, enqueue it, plant its expiry event,
+    /// expose the submitter's fans.
+    fn admit_story(&mut self, submitter: UserId, quality: f64) {
+        let id = StoryId::from_index(self.stories.len());
+        let story = Story::new(id, submitter, self.now, quality);
+        self.stories.push(story);
+        self.queue.push(id, self.now);
+        self.metrics.submissions += 1;
+        self.events.schedule(
+            self.now.0 + self.cfg.queue_lifetime + 1,
+            CLASS_EXPIRY,
+            Ev::Expiry(id),
+        );
+        // "See the stories your friends submitted": expose the
+        // submitter's fans.
+        self.schedule_fan_exposures(submitter, id, true);
+        if self.kernel == Kernel::EventStreams {
+            let srng = self.root.derive(SALT_EXTERNAL).derive(id.index() as u64);
+            let tau = self.now.0 as f64 - 1.0;
+            self.schedule_external_arrival(id, srng, tau);
+        }
+    }
+
+    fn compat_submissions(&mut self) {
         let n = poisson(&mut self.rng, self.cfg.submissions_per_minute);
         for _ in 0..n {
             let submitter = UserId::from_index(self.submit_table.sample(&mut self.rng));
-            let quality = self.draw_quality(submitter);
-            let id = StoryId::from_index(self.stories.len());
-            let story = Story::new(id, submitter, self.now, quality);
-            self.stories.push(story);
-            self.queue.push(id, self.now);
-            self.metrics.submissions += 1;
-            // "See the stories your friends submitted": expose the
-            // submitter's fans.
-            self.schedule_fan_exposures(submitter, id, true);
-        }
-    }
-
-    fn draw_quality(&mut self, submitter: UserId) -> f64 {
-        let skill = (self.pop.activity[submitter.index()] / self.cfg.skill_activity_ref).min(1.0);
-        let p_broad = self.cfg.high_quality_fraction + self.cfg.high_quality_skill * skill;
-        if coin(&mut self.rng, p_broad) {
-            let lo = self.cfg.broad_quality_min;
-            lo + (1.0 - lo) * self.rng.random::<f64>()
-        } else {
-            self.niche_quality.sample(&mut self.rng).clamp(1e-4, 1.0)
-        }
-    }
-
-    fn process_exposures(&mut self) {
-        let due = self.exposures.drain_due(self.now);
-        for e in due {
-            self.metrics.exposures_fired += 1;
-            // Feed entries lapse 48h after the triggering activity.
-            if self.now.since(e.triggered_at) > self.cfg.feed_lifetime {
-                continue;
-            }
-            let story = &self.stories[e.story.index()];
-            if story.has_voted(e.fan) {
-                continue;
-            }
-            // Fans back their friends' own submissions loyally; for
-            // stories a friend merely dugg, interest dominates.
-            let p = if e.from_submitter {
-                self.cfg.friend_vote_submitted
-            } else {
-                self.cfg.friend_vote_base + self.cfg.friend_vote_quality_slope * story.quality
+            let quality = {
+                let activity = self.pop.activity[submitter.index()];
+                draw_quality(&mut self.rng, &self.cfg, &self.niche_quality, activity)
             };
-            if coin(&mut self.rng, p) {
-                self.cast_vote(e.story, e.fan, VoteChannel::Friends);
-            }
+            self.admit_story(submitter, quality);
         }
     }
 
-    fn process_frontpage_browsing(&mut self) {
+    fn on_submit(&mut self) {
+        let mut body = self
+            .root
+            .derive(SALT_STORY_BODY)
+            .derive(self.stories.len() as u64);
+        let submitter = UserId::from_index(self.submit_table.sample(&mut body));
+        let activity = self.pop.activity[submitter.index()];
+        let quality = draw_quality(&mut body, &self.cfg, &self.niche_quality, activity);
+        self.admit_story(submitter, quality);
+        self.schedule_next_submission();
+    }
+
+    /// EventStreams: next submission from the exponential-gap arrival
+    /// process; a continuous arrival at `tau` lands in minute
+    /// `ceil(tau)` (the minute interval `(m-1, m]`), matching the tick
+    /// loop's per-minute Poisson bucketing in distribution.
+    fn schedule_next_submission(&mut self) {
+        let rate = self.cfg.submissions_per_minute;
+        if rate <= 0.0 {
+            return;
+        }
+        self.sub_tau += exponential(&mut self.sub_gap, rate);
+        let m = (self.sub_tau.ceil() as u64).max(1);
+        self.events.schedule(m, CLASS_SUBMIT, Ev::Submit);
+    }
+
+    // --------------------------------------------------------- exposures
+
+    fn on_exposure(
+        &mut self,
+        fan: UserId,
+        story_id: StoryId,
+        triggered_at: Minute,
+        from_submitter: bool,
+    ) {
+        self.metrics.exposures_fired += 1;
+        // Feed entries lapse 48h after the triggering activity.
+        if self.now.since(triggered_at) > self.cfg.feed_lifetime {
+            return;
+        }
+        let story = &self.stories[story_id.index()];
+        if story.has_voted(fan) {
+            return;
+        }
+        // Fans back their friends' own submissions loyally; for
+        // stories a friend merely dugg, interest dominates.
+        let p = if from_submitter {
+            self.cfg.friend_vote_submitted
+        } else {
+            self.cfg.friend_vote_base + self.cfg.friend_vote_quality_slope * story.quality
+        };
+        let votes = match self.kernel {
+            Kernel::Compat => coin(&mut self.rng, p),
+            Kernel::EventStreams => {
+                let mut s = self
+                    .root
+                    .derive(SALT_EXPOSE_FIRE)
+                    .derive(story_id.index() as u64)
+                    .derive(fan.index() as u64);
+                coin(&mut s, p)
+            }
+        };
+        if votes {
+            self.cast_vote(story_id, fan, VoteChannel::Friends);
+        }
+    }
+
+    // ---------------------------------------------------------- browsing
+
+    // Compat browsing uses `self.rng` directly: the session draws and
+    // the exposure draws nested under each cast_vote must interleave
+    // on the one tick-loop RNG in the seed's exact call order.
+
+    fn compat_frontpage_browsing(&mut self) {
         let sessions = poisson(&mut self.rng, self.cfg.frontpage_sessions_per_minute);
         for _ in 0..sessions {
             let user = UserId::from_index(self.browse_table.sample(&mut self.rng));
@@ -257,7 +519,7 @@ impl Sim {
         }
     }
 
-    fn process_upcoming_browsing(&mut self) {
+    fn compat_upcoming_browsing(&mut self) {
         let sessions = poisson(&mut self.rng, self.cfg.upcoming_sessions_per_minute);
         for _ in 0..sessions {
             let user = UserId::from_index(self.browse_table.sample(&mut self.rng));
@@ -277,7 +539,73 @@ impl Sim {
         }
     }
 
-    fn process_external(&mut self) {
+    /// One front-page browsing session (EventStreams), drawing the
+    /// user, the page depth, and every vote coin from the session's
+    /// own stream.
+    fn browse_frontpage(&mut self, rng: &mut StreamRng) {
+        let user = UserId::from_index(self.browse_table.sample(rng));
+        let pages = sample_pages_viewed(rng, self.cfg.page_stop_prob);
+        for p in 0..pages.min(self.front.page_count()) {
+            for id in self.front.page(p) {
+                let story = &self.stories[id.index()];
+                if story.has_voted(user) {
+                    continue;
+                }
+                let age = match story.status {
+                    StoryStatus::FrontPage(t) => self.now.since(t),
+                    _ => continue,
+                };
+                let prob = self.cfg.frontpage_vote_prob
+                    * story.quality
+                    * novelty(age, self.cfg.novelty_tau);
+                if coin(rng, prob) {
+                    self.cast_vote(id, user, VoteChannel::FrontPage);
+                }
+            }
+        }
+    }
+
+    /// One upcoming-queue browsing session (EventStreams).
+    fn browse_upcoming(&mut self, rng: &mut StreamRng) {
+        let user = UserId::from_index(self.browse_table.sample(rng));
+        let pages = sample_pages_viewed(rng, self.cfg.page_stop_prob);
+        for p in 0..pages.min(self.queue.page_count()) {
+            for id in self.queue.page(p) {
+                let story = &self.stories[id.index()];
+                if story.has_voted(user) || !story.is_upcoming() {
+                    continue;
+                }
+                let prob = self.cfg.upcoming_vote_prob * story.quality;
+                if coin(rng, prob) {
+                    self.cast_vote(id, user, VoteChannel::Upcoming);
+                }
+            }
+        }
+    }
+
+    fn schedule_next_front_session(&mut self) {
+        let rate = self.cfg.frontpage_sessions_per_minute;
+        if rate <= 0.0 {
+            return;
+        }
+        self.front_tau += exponential(&mut self.front_gap, rate);
+        let m = (self.front_tau.ceil() as u64).max(1);
+        self.events.schedule(m, CLASS_FRONT, Ev::FrontSession);
+    }
+
+    fn schedule_next_up_session(&mut self) {
+        let rate = self.cfg.upcoming_sessions_per_minute;
+        if rate <= 0.0 {
+            return;
+        }
+        self.up_tau += exponential(&mut self.up_gap, rate);
+        let m = (self.up_tau.ceil() as u64).max(1);
+        self.events.schedule(m, CLASS_UPCOMING, Ev::UpSession);
+    }
+
+    // ---------------------------------------------------------- external
+
+    fn compat_external(&mut self) {
         // Advance the window start past stories that left the
         // external-discovery window.
         while self.external_lo < self.stories.len()
@@ -299,6 +627,35 @@ impl Sim {
                 }
             }
         }
+    }
+
+    /// EventStreams: one external reader arrives for `story` now.
+    fn on_external_arrival(&mut self, story: StoryId, mut rng: StreamRng, tau: f64) {
+        let user = UserId::from_index(self.browse_table.sample(&mut rng));
+        if !self.stories[story.index()].has_voted(user) {
+            self.cast_vote(story, user, VoteChannel::External);
+        }
+        self.schedule_external_arrival(story, rng, tau);
+    }
+
+    /// EventStreams: per-story external discovery as an exponential-gap
+    /// arrival process at rate `external_rate * quality`, starting at
+    /// the submission minute and dying when the story leaves the
+    /// discovery window.
+    fn schedule_external_arrival(&mut self, story: StoryId, mut rng: StreamRng, mut tau: f64) {
+        let s = &self.stories[story.index()];
+        let rate = self.cfg.external_rate * s.quality;
+        if rate <= 0.0 {
+            return;
+        }
+        let last = (s.submitted_at + self.cfg.external_window).0;
+        tau += exponential(&mut rng, rate);
+        let m = tau.ceil() as u64;
+        if m > last {
+            return;
+        }
+        self.events
+            .schedule(m, CLASS_EXTERNAL, Ev::ExternalArrival { story, rng, tau });
     }
 
     // ------------------------------------------------------------ voting
@@ -323,14 +680,14 @@ impl Sim {
     /// Expose `actor`'s fans to `story` ("see the stories my friends
     /// dugg / submitted").
     fn schedule_fan_exposures(&mut self, actor: UserId, story: StoryId, from_submitter: bool) {
-        // Collect scheduling decisions first to appease the borrow
-        // checker; fan lists are small.
+        // Collect the fan list first to appease the borrow checker;
+        // fan lists are small.
         let fans: Vec<UserId> = self.pop.graph.fans(actor).to_vec();
         for fan in fans {
             if self.stories[story.index()].has_voted(fan) {
                 continue;
             }
-            if self.exposures.was_scheduled(fan, story) {
+            if self.scheduled.contains(&(fan, story)) {
                 continue;
             }
             // Exposure = (fan visits the site during the window) x
@@ -353,19 +710,50 @@ impl Sim {
             };
             let dilution = f.powf(-dilution_exp);
             let p = (self.cfg.fan_exposure_prob * visits * dilution).min(1.0);
-            if !coin(&mut self.rng, p) {
-                // Consume the pair so another friend's vote doesn't
-                // grant a second chance; the interface shows a story
-                // once.
-                self.exposures
-                    .schedule(fan, story, Minute(u64::MAX), self.now, from_submitter);
-                continue;
+            let delay_mean = 1.0 / self.cfg.fan_exposure_delay_mean;
+            // Each (story, fan) pair passes here at most once (the
+            // `scheduled` dedup), so the per-pair stream below is
+            // drawn at most once — its values depend only on the pair,
+            // never on event interleaving.
+            let scheduled_delay = match self.kernel {
+                Kernel::Compat => {
+                    if coin(&mut self.rng, p) {
+                        Some(1.0 + exponential(&mut self.rng, delay_mean))
+                    } else {
+                        None
+                    }
+                }
+                Kernel::EventStreams => {
+                    let mut s = self
+                        .root
+                        .derive(SALT_EXPOSE_SCHED)
+                        .derive(story.index() as u64)
+                        .derive(fan.index() as u64);
+                    if coin(&mut s, p) {
+                        Some(1.0 + exponential(&mut s, delay_mean))
+                    } else {
+                        None
+                    }
+                }
+            };
+            // Consume the pair either way, so another friend's vote
+            // doesn't grant a second chance; the interface shows a
+            // story once.
+            self.scheduled.insert((fan, story));
+            if let Some(delay) = scheduled_delay {
+                let delay = (delay as u64).min(self.cfg.feed_lifetime);
+                self.events.schedule(
+                    (self.now + delay).0,
+                    CLASS_EXPOSE,
+                    Ev::Exposure {
+                        fan,
+                        story,
+                        triggered_at: self.now,
+                        from_submitter,
+                    },
+                );
+                self.metrics.exposures_scheduled += 1;
             }
-            let delay = 1.0 + exponential(&mut self.rng, 1.0 / self.cfg.fan_exposure_delay_mean);
-            let delay = (delay as u64).min(self.cfg.feed_lifetime);
-            self.exposures
-                .schedule(fan, story, self.now + delay, self.now, from_submitter);
-            self.metrics.exposures_scheduled += 1;
         }
     }
 
@@ -383,6 +771,25 @@ impl Sim {
             self.front.promote(id, self.now);
             self.metrics.promotions += 1;
         }
+    }
+}
+
+/// Story quality: a coin between the broad-appeal regime (uniform above
+/// `broad_quality_min`, likelier for skilled submitters) and the niche
+/// regime (log-normal, clamped into `(0, 1]`).
+fn draw_quality<R: RngCore>(
+    rng: &mut R,
+    cfg: &SimConfig,
+    niche_quality: &LogNormal,
+    activity: f64,
+) -> f64 {
+    let skill = (activity / cfg.skill_activity_ref).min(1.0);
+    let p_broad = cfg.high_quality_fraction + cfg.high_quality_skill * skill;
+    if coin(rng, p_broad) {
+        let lo = cfg.broad_quality_min;
+        lo + (1.0 - lo) * rng.random::<f64>()
+    } else {
+        niche_quality.sample(rng).clamp(1e-4, 1.0)
     }
 }
 
@@ -419,6 +826,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
         let pop = Population::generate(&mut rng, &PopulationConfig::toy(cfg.users));
         Sim::new(cfg, pop)
+    }
+
+    fn toy_streams_sim(seed: u64) -> Sim {
+        let cfg = SimConfig::toy(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let pop = Population::generate(&mut rng, &PopulationConfig::toy(cfg.users));
+        Sim::with_kernel(cfg, pop, Kernel::EventStreams)
     }
 
     #[test]
@@ -536,6 +950,7 @@ mod tests {
         let sim = toy_sim(9);
         assert_eq!(sim.config().users, 400);
         assert_eq!(sim.population().len(), 400);
+        assert_eq!(sim.kernel(), Kernel::Compat);
     }
 
     #[test]
@@ -545,5 +960,82 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let pop = Population::generate(&mut rng, &PopulationConfig::toy(10));
         let _ = Sim::new(cfg, pop);
+    }
+
+    #[test]
+    fn event_streams_kernel_is_deterministic() {
+        let mut a = toy_streams_sim(42);
+        let mut b = toy_streams_sim(42);
+        a.run(600);
+        b.run(600);
+        assert_eq!(a.metrics(), b.metrics());
+        for (x, y) in a.stories().iter().zip(b.stories()) {
+            assert_eq!(x.votes, y.votes);
+            assert_eq!(x.quality, y.quality);
+        }
+    }
+
+    #[test]
+    fn event_streams_kernel_upholds_core_invariants() {
+        let mut sim = toy_streams_sim(11);
+        sim.run(1200);
+        assert_eq!(sim.now(), Minute(1200));
+        assert!(sim.metrics().submissions > 0);
+        assert_eq!(sim.metrics().submissions as usize, sim.stories().len());
+        assert!(sim.metrics().promotions > 0, "nothing promoted");
+        assert_eq!(queue_boundary_violations(&sim), 0);
+        for s in sim.stories() {
+            assert!(s.votes.windows(2).all(|w| w[0].at <= w[1].at));
+            assert_eq!(s.votes[0].user, s.submitter);
+            let mut users: Vec<UserId> = s.votes.iter().map(|v| v.user).collect();
+            users.sort_unstable();
+            let before = users.len();
+            users.dedup();
+            assert_eq!(users.len(), before, "duplicate votes on {}", s.id);
+        }
+        let story_votes: u64 = sim
+            .stories()
+            .iter()
+            .map(|s| s.vote_count() as u64 - 1)
+            .sum();
+        assert_eq!(sim.metrics().total_votes(), story_votes);
+    }
+
+    #[test]
+    fn event_streams_kernel_tracks_the_tick_loop_statistically() {
+        // Same model, different sample path: aggregate activity should
+        // land in the same ballpark as the Compat kernel.
+        let mut compat = toy_sim(2024);
+        let mut streams = toy_streams_sim(2024);
+        compat.run(2880);
+        streams.run(2880);
+        let (c, s) = (compat.metrics(), streams.metrics());
+        let ratio = s.submissions as f64 / c.submissions as f64;
+        assert!((0.7..1.4).contains(&ratio), "submission ratio {ratio}");
+        let vr = (s.total_votes().max(1)) as f64 / (c.total_votes().max(1)) as f64;
+        assert!((0.5..2.0).contains(&vr), "vote ratio {vr}");
+        assert!(s.votes_friends > 0 && s.votes_frontpage > 0);
+    }
+
+    #[test]
+    fn incremental_runs_match_one_shot() {
+        // run(a); run(b) must equal run(a + b) — the heartbeats and
+        // pending events survive across run() calls.
+        let mut split = toy_sim(13);
+        split.run(200);
+        split.run(400);
+        let mut whole = toy_sim(13);
+        whole.run(600);
+        assert_eq!(split.metrics(), whole.metrics());
+        for (x, y) in split.stories().iter().zip(whole.stories()) {
+            assert_eq!(x.votes, y.votes);
+        }
+
+        let mut split = toy_streams_sim(13);
+        split.run(200);
+        split.run(400);
+        let mut whole = toy_streams_sim(13);
+        whole.run(600);
+        assert_eq!(split.metrics(), whole.metrics());
     }
 }

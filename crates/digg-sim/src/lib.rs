@@ -45,15 +45,24 @@
 //! * [`queue`] / [`frontpage`] — the two story listings.
 //! * [`promotion`] — promotion algorithms (threshold and the
 //!   Sept-2006 "digging diversity" variant).
-//! * [`feeds`] — the Friends-interface exposure process.
+//! * [`feeds`] — the Friends-interface exposure process (used by the
+//!   tick-loop baseline).
 //! * [`decay`] — novelty decay and page-position attention.
-//! * [`engine`] — the per-minute simulation loop.
+//! * [`engine`] — the event-driven simulation engine on the
+//!   `des-core` kernel ([`Kernel::Compat`] replays the seed tick loop
+//!   draw-for-draw; [`Kernel::EventStreams`] skips idle minutes with
+//!   per-entity RNG streams).
+//! * [`baseline`] — the seed per-minute tick loop, kept verbatim as
+//!   the equivalence baseline for [`engine`].
+//! * [`sweep`] — the parallel scenario-sweep runner (deterministic
+//!   `(config, seed)` fan-out over `des-core::par_map`).
 //! * [`metrics`] — counters for calibration and tests.
 //! * [`scenario`] — the calibrated June-2006 configuration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod config;
 pub mod decay;
 pub mod engine;
@@ -65,10 +74,11 @@ pub mod promotion;
 pub mod queue;
 pub mod scenario;
 pub mod story;
+pub mod sweep;
 pub mod time;
 
 pub use config::SimConfig;
-pub use engine::Sim;
+pub use engine::{Kernel, Sim};
 pub use population::Population;
 pub use story::{Story, StoryId, Vote, VoteChannel};
 pub use time::Minute;
