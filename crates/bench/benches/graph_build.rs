@@ -1,0 +1,33 @@
+//! Criterion bench for CSR graph construction: the serial
+//! `GraphBuilder::build` against the sharded `build_parallel` on the
+//! same shuffled raw edge list, at 10k and 100k users (~10 edges per
+//! user). The scale harness (`experiments graph_scale`) covers the
+//! million-user point; this bench tracks the small/medium sizes where
+//! the parallel path's fallback threshold and fan-out overhead live.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use digg_bench::scale::scale_edge_list;
+use social_graph::{GraphBuilder, UserId};
+use std::hint::black_box;
+
+fn builder_from(users: usize, edges: &[(UserId, UserId)]) -> GraphBuilder {
+    let mut b = GraphBuilder::new(users);
+    b.extend_watches(edges.iter().copied());
+    b
+}
+
+fn bench_build(c: &mut Criterion) {
+    for users in [10_000usize, 100_000] {
+        let edges = scale_edge_list(1, users, 10, 8);
+        let label = if users >= 100_000 { "100k" } else { "10k" };
+        c.bench_function(&format!("graph_build_serial_{label}"), |b| {
+            b.iter(|| black_box(builder_from(users, &edges).build()))
+        });
+        c.bench_function(&format!("graph_build_parallel8_{label}"), |b| {
+            b.iter(|| black_box(builder_from(users, &edges).build_parallel(8)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -19,6 +19,11 @@
 //!   (`sim_sweep`, `epi_sweep`): parallel `(config, seed)` fan-outs on
 //!   the `des-core` event kernels, with tick-loop/scan-model
 //!   equivalence checks and kernel timing rows.
+//! * [`scale`] — the `graph_scale` experiment: serial-vs-sharded CSR
+//!   construction of a `DIGG_SCALE_USERS` graph (default one million
+//!   users, ~10M edges) with bit-identity enforced, plus degree
+//!   metrics and a story-sweep batch; records edges/sec and votes/sec
+//!   `scale` rows into `bench_summary.json`.
 //! * `benches/*` — Criterion benches. `figures.rs` times every
 //!   analysis that regenerates a figure (on a shared synthesized
 //!   dataset); `perf.rs` times the substrates (graph ops, simulator
@@ -34,6 +39,7 @@
 pub mod ablations;
 pub mod baseline;
 pub mod registry;
+pub mod scale;
 pub mod sweeps;
 
 use digg_data::synth::{synthesize, SynthConfig, Synthesis};

@@ -104,13 +104,41 @@ pub struct RunRecord {
     pub stories_per_sec: f64,
 }
 
+/// One scale-trajectory row of `bench_summary.json`: the throughput of
+/// a substrate operation at a stated graph size — the numbers that
+/// track progress toward the ROADMAP's millions-of-users target.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleRecord {
+    /// Operation name (e.g. `graph_build_parallel`, `story_sweeps`).
+    pub name: String,
+    /// Users in the graph the operation ran against.
+    pub users: usize,
+    /// Edges in that graph.
+    pub edges: usize,
+    /// Wall time of the operation in milliseconds.
+    pub wall_ms: f64,
+    /// Throughput in `unit`s per second.
+    pub per_sec: f64,
+    /// What `per_sec` counts: `"edges"` or `"votes"`.
+    pub unit: &'static str,
+    /// Speedup over the serial implementation of the same operation,
+    /// when one exists.
+    pub speedup_vs_serial: Option<f64>,
+}
+
 static RUNS: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
 static BASELINES: Mutex<Vec<crate::baseline::BaselineRecord>> = Mutex::new(Vec::new());
+static SCALE: Mutex<Vec<ScaleRecord>> = Mutex::new(Vec::new());
 
 /// Store seed-baseline comparison rows for the next
 /// [`write_bench_summary`].
 pub fn record_baselines(rows: Vec<crate::baseline::BaselineRecord>) {
     BASELINES.lock().unwrap().extend(rows);
+}
+
+/// Store scale-trajectory rows for the next [`write_bench_summary`].
+pub fn record_scale(rows: Vec<ScaleRecord>) {
+    SCALE.lock().unwrap().extend(rows);
 }
 
 fn fp(s: &Synthesis) -> usize {
@@ -322,6 +350,13 @@ pub static REGISTRY: &[ExperimentSpec] = &[
             run: crate::sweeps::run_epi_sweep,
         },
     },
+    ExperimentSpec {
+        name: "graph_scale",
+        about: "million-user CSR build (serial vs sharded) + degree metrics + sweep batch",
+        runner: Runner::Standalone {
+            run: crate::scale::run_graph_scale,
+        },
+    },
 ];
 
 /// Look up an experiment by name.
@@ -368,6 +403,7 @@ struct BenchSummary {
     threads: usize,
     runs: Vec<RunRecord>,
     baseline: Vec<crate::baseline::BaselineRecord>,
+    scale: Vec<ScaleRecord>,
 }
 
 /// Write `bench_summary.json` (wall-times, throughput, baseline
@@ -379,6 +415,7 @@ pub fn write_bench_summary() {
         threads: digg_core::worker_threads(),
         runs: RUNS.lock().unwrap().clone(),
         baseline: BASELINES.lock().unwrap().clone(),
+        scale: SCALE.lock().unwrap().clone(),
     };
     let dir = std::env::var("DIGG_RESULTS_DIR").unwrap_or_else(|_| ".".to_string());
     let path = std::path::Path::new(&dir).join("bench_summary.json");

@@ -56,4 +56,6 @@ pub mod story_metrics;
 pub use cascade::{in_network_count_within, in_network_flags};
 pub use features::{StoryFeatures, INTERESTINGNESS_THRESHOLD};
 pub use predictor::InterestingnessPredictor;
-pub use story_metrics::{par_fold, par_map, sweep_map, worker_threads, StorySweep, StorySweeper};
+pub use story_metrics::{
+    par_fold, par_join, par_map, sweep_map, worker_threads, StorySweep, StorySweeper,
+};

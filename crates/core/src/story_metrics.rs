@@ -161,7 +161,7 @@ impl StorySweep {
 // runner in `digg-sim` can share them; re-exported here so every
 // existing `digg_core::{par_map, worker_threads, …}` path keeps
 // working. `DIGG_THREADS` is parsed in exactly one place: des-core.
-pub use des_core::par::{chunk_size, par_fold, par_map, worker_threads};
+pub use des_core::par::{chunk_size, par_fold, par_join, par_map, worker_threads};
 
 /// [`par_map`] handing each worker thread its own [`StorySweeper`]
 /// sized for `graph` — the batch path for per-story analytics: one

@@ -14,9 +14,10 @@
 //!   different entities interleave in the queue.
 //! - [`par`] — the deterministic `std::thread::scope` fan-out used by
 //!   every batch path in the workspace ([`par_map`], [`par_fold`],
-//!   [`worker_threads`] honouring `DIGG_THREADS`): contiguous chunks,
-//!   outputs concatenated in chunk order, bit-identical results at any
-//!   thread count.
+//!   [`par_join`] for heterogeneous tasks over disjoint `&mut`
+//!   regions, [`worker_threads`] honouring `DIGG_THREADS`): contiguous
+//!   chunks, outputs recombined in task order, bit-identical results
+//!   at any thread count.
 //!
 //! `digg-sim` runs the platform simulator on this kernel (with the seed
 //! tick loop kept as an equivalence baseline) and `digg-epidemics` runs
@@ -28,6 +29,6 @@ pub mod par;
 pub mod queue;
 pub mod rng;
 
-pub use par::{chunk_size, par_fold, par_map, worker_threads};
+pub use par::{chunk_size, par_fold, par_join, par_map, worker_threads};
 pub use queue::{Event, EventId, EventQueue};
 pub use rng::StreamRng;

@@ -109,6 +109,32 @@ where
     })
 }
 
+/// Deterministic heterogeneous fan-out: run each closure on its own
+/// scoped thread and return the results **in task order**. This is the
+/// primitive behind the parallel CSR scatter in `social-graph`: the
+/// caller splits one output buffer into disjoint `&mut` regions with
+/// `split_at_mut`, moves each region into a task, and `par_join` runs
+/// the per-region writes concurrently without any unsafe aliasing.
+///
+/// With zero or one task (or when the caller asked for one thread via
+/// a single task) everything runs inline on the current thread.
+pub fn par_join<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if tasks.len() <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks.into_iter().map(|f| scope.spawn(f)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +162,28 @@ mod tests {
         for threads in [1, 2, 3, 8, 64] {
             assert_eq!(par_map(&items, threads, |x| x * x), serial);
         }
+    }
+
+    #[test]
+    fn par_join_returns_in_task_order() {
+        let tasks: Vec<_> = (0..9u64).map(|i| move || i * 10).collect();
+        assert_eq!(
+            par_join(tasks),
+            (0..9u64).map(|i| i * 10).collect::<Vec<_>>()
+        );
+        assert_eq!(par_join(Vec::<fn() -> u64>::new()), Vec::<u64>::new());
+        assert_eq!(par_join(vec![|| 7u64]), vec![7]);
+    }
+
+    #[test]
+    fn par_join_tasks_may_own_disjoint_regions() {
+        let mut buf = vec![0u32; 10];
+        let (lo, hi) = buf.split_at_mut(4);
+        par_join(vec![
+            Box::new(move || lo.fill(1)) as Box<dyn FnOnce() + Send>,
+            Box::new(move || hi.fill(2)),
+        ]);
+        assert_eq!(buf, [1, 1, 1, 1, 2, 2, 2, 2, 2, 2]);
     }
 
     #[test]

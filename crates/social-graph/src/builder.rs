@@ -2,6 +2,42 @@
 
 use crate::graph::SocialGraph;
 use crate::id::UserId;
+use std::fmt;
+
+/// The deduplicated edge count exceeded the `u32` CSR offset space.
+///
+/// The CSR views index their target arrays with `u32` offsets, so a
+/// graph can hold at most `u32::MAX` (~4.29 billion) edges. The error
+/// carries the offending count so a failed multi-billion-edge run is
+/// diagnosable instead of dying on a bare assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrCapacityError {
+    /// The deduplicated edge count that did not fit.
+    pub edges: usize,
+}
+
+impl fmt::Display for CsrCapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph has {} deduplicated edges, exceeding the u32 CSR offset limit of {}",
+            self.edges,
+            u32::MAX
+        )
+    }
+}
+
+impl std::error::Error for CsrCapacityError {}
+
+/// Fail with a [`CsrCapacityError`] when `m` edges cannot be indexed
+/// by `u32` CSR offsets. Shared by the serial and sharded builds.
+pub(crate) fn check_csr_capacity(m: usize) -> Result<(), CsrCapacityError> {
+    if m <= u32::MAX as usize {
+        Ok(())
+    } else {
+        Err(CsrCapacityError { edges: m })
+    }
+}
 
 /// Collects watch edges and produces an immutable [`SocialGraph`].
 ///
@@ -49,44 +85,50 @@ impl GraphBuilder {
         self.edges.len()
     }
 
-    /// Finalise into an immutable CSR graph.
-    pub fn build(mut self) -> SocialGraph {
-        self.edges.sort_unstable();
-        self.edges.dedup();
-        let n = self.n;
-        let m = self.edges.len();
-        assert!(m <= u32::MAX as usize, "edge count exceeds u32 CSR offsets");
+    /// Record a batch of watch edges ([`GraphBuilder::add_watch`] per
+    /// pair — self-loops dropped, id space grown as needed).
+    pub fn extend_watches(&mut self, edges: impl IntoIterator<Item = (UserId, UserId)>) {
+        for (fan, watched) in edges {
+            self.add_watch(fan, watched);
+        }
+    }
 
-        // Friends view: edges are sorted by (fan, watched), so the
-        // target column is already the concatenation of sorted rows.
-        let mut friend_offsets = vec![0u32; n + 1];
-        for &(a, _) in &self.edges {
-            friend_offsets[a.index() + 1] += 1;
-        }
-        for i in 0..n {
-            friend_offsets[i + 1] += friend_offsets[i];
-        }
-        let friend_targets: Vec<UserId> = self.edges.iter().map(|&(_, b)| b).collect();
+    /// Finalise into an immutable CSR graph on the current thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending edge count when the deduplicated edge
+    /// count exceeds the `u32` CSR offset space (see
+    /// [`GraphBuilder::try_build`] for the fallible form).
+    pub fn build(self) -> SocialGraph {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
 
-        // Fans view: counting sort by target. Scanning edges in (a, b)
-        // order writes each fan row's `a`s in ascending order, so rows
-        // come out sorted without a second sort.
-        let mut fan_offsets = vec![0u32; n + 1];
-        for &(_, b) in &self.edges {
-            fan_offsets[b.index() + 1] += 1;
-        }
-        for i in 0..n {
-            fan_offsets[i + 1] += fan_offsets[i];
-        }
-        let mut cursor: Vec<u32> = fan_offsets[..n].to_vec();
-        let mut fan_targets = vec![UserId(0); m];
-        for &(a, b) in &self.edges {
-            let slot = &mut cursor[b.index()];
-            fan_targets[*slot as usize] = a;
-            *slot += 1;
-        }
+    /// Fallible serial build: `Err` instead of panicking when the edge
+    /// count exceeds the `u32` CSR offset space.
+    pub fn try_build(self) -> Result<SocialGraph, CsrCapacityError> {
+        crate::par_build::serial(self.n, self.edges)
+    }
 
-        SocialGraph::from_csr(friend_offsets, friend_targets, fan_offsets, fan_targets)
+    /// Finalise with the sharded parallel pipeline (see the
+    /// `par_build` module docs): per-source-row-range local
+    /// sort + dedup, parallel histogram → prefix-summed offsets, and a
+    /// parallel scatter into both CSR views. The result is
+    /// **bit-identical** to [`GraphBuilder::build`] at any `threads`;
+    /// small edge lists fall back to the serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending edge count when the deduplicated edge
+    /// count exceeds the `u32` CSR offset space.
+    pub fn build_parallel(self, threads: usize) -> SocialGraph {
+        self.try_build_parallel(threads)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`GraphBuilder::build_parallel`].
+    pub fn try_build_parallel(self, threads: usize) -> Result<SocialGraph, CsrCapacityError> {
+        crate::par_build::build_parallel(self.n, self.edges, threads)
     }
 }
 
@@ -136,5 +178,43 @@ mod tests {
         b.add_watch(UserId(0), UserId(1));
         assert_eq!(b.pending_edges(), 2);
         assert_eq!(b.build().edge_count(), 1);
+    }
+
+    #[test]
+    fn extend_watches_applies_add_watch_semantics() {
+        let mut b = GraphBuilder::new(0);
+        b.extend_watches([
+            (UserId(0), UserId(1)),
+            (UserId(2), UserId(2)),
+            (UserId(4), UserId(0)),
+        ]);
+        let g = b.build();
+        assert_eq!(g.user_count(), 5);
+        assert_eq!(g.edge_count(), 2); // self-loop dropped
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let mut b = GraphBuilder::new(0);
+        for i in 0..50u32 {
+            b.add_watch(UserId(i % 10), UserId((i * 3) % 17));
+            b.add_watch(UserId((i * 7) % 13), UserId(i % 10));
+        }
+        let serial = b.clone().build();
+        for threads in [1, 2, 8] {
+            assert_eq!(b.clone().build_parallel(threads), serial);
+        }
+    }
+
+    #[test]
+    fn capacity_error_reports_the_edge_count() {
+        assert_eq!(check_csr_capacity(17), Ok(()));
+        assert_eq!(check_csr_capacity(u32::MAX as usize), Ok(()));
+        let too_many = u32::MAX as usize + 9;
+        let err = check_csr_capacity(too_many).unwrap_err();
+        assert_eq!(err.edges, too_many);
+        let msg = err.to_string();
+        assert!(msg.contains(&too_many.to_string()), "message was {msg:?}");
+        assert!(msg.contains("u32 CSR offset limit"), "message was {msg:?}");
     }
 }

@@ -138,10 +138,29 @@ impl SocialGraph {
     /// membership test: a vote is "in-network" iff the voter is a fan
     /// of any prior voter.
     ///
-    /// Cost is `O(|candidates| log d)`; callers with a hot loop should
-    /// iterate the smaller side themselves.
+    /// Iterates the cheaper side: `O(|candidates| log d)` binary
+    /// searches for small candidate sets, and when `candidates` is
+    /// larger than `friends(a)` *and* happens to be sorted (verifying
+    /// that costs one `O(|candidates|)` scan, cheaper than the
+    /// searches it replaces), a sorted two-pointer intersection over
+    /// `friends(a)` in `O(d + |candidates|)`.
     pub fn is_fan_of_any(&self, a: UserId, candidates: &[UserId]) -> bool {
-        candidates.iter().any(|&c| self.watches(a, c))
+        let friends = self.friends(a);
+        if candidates.len() > friends.len() && candidates.windows(2).all(|w| w[0] <= w[1]) {
+            let (mut i, mut j) = (0, 0);
+            while i < friends.len() && j < candidates.len() {
+                match friends[i].cmp(&candidates[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return true,
+                }
+            }
+            false
+        } else {
+            candidates
+                .iter()
+                .any(|&c| friends.binary_search(&c).is_ok())
+        }
     }
 
     /// Iterate all watch edges `(fan, watched)` in ascending order.
@@ -171,18 +190,48 @@ impl SocialGraph {
     /// only watch edges with *both* endpoints in the set. This is the
     /// shape of the paper's first network artifact — the snapshot of
     /// the top-1020 users' friends and fans among themselves.
+    ///
+    /// Filters the CSR rows of both views directly (a count pass to
+    /// size offsets, then a scatter), `O(V + E)` with no sort: the
+    /// source rows are already sorted, and dropping targets preserves
+    /// that order, so rebuilding through a `GraphBuilder` (and its
+    /// `O(E log E)` sort) would only re-derive what the views already
+    /// encode.
     pub fn induced_subgraph(&self, members: &[UserId]) -> SocialGraph {
         let mut in_set = vec![false; self.user_count()];
         for &m in members {
             in_set[m.index()] = true;
         }
-        let mut b = crate::builder::GraphBuilder::new(self.user_count());
-        for (a, c) in self.edges() {
-            if in_set[a.index()] && in_set[c.index()] {
-                b.add_watch(a, c);
+        let filter_view = |offsets: &[u32], targets: &[UserId]| {
+            let n = offsets.len() - 1;
+            let mut new_offsets = vec![0u32; n + 1];
+            for u in 0..n {
+                let kept = if in_set[u] {
+                    Self::row(offsets, targets, u)
+                        .iter()
+                        .filter(|t| in_set[t.index()])
+                        .count() as u32
+                } else {
+                    0
+                };
+                new_offsets[u + 1] = new_offsets[u] + kept;
             }
-        }
-        b.build()
+            let mut new_targets = Vec::with_capacity(new_offsets[n] as usize);
+            for u in 0..n {
+                if in_set[u] {
+                    new_targets.extend(
+                        Self::row(offsets, targets, u)
+                            .iter()
+                            .filter(|t| in_set[t.index()]),
+                    );
+                }
+            }
+            (new_offsets, new_targets)
+        };
+        let (friend_offsets, friend_targets) =
+            filter_view(&self.friend_offsets, &self.friend_targets);
+        let (fan_offsets, fan_targets) = filter_view(&self.fan_offsets, &self.fan_targets);
+        SocialGraph::from_csr(friend_offsets, friend_targets, fan_offsets, fan_targets)
     }
 }
 
@@ -232,6 +281,44 @@ mod tests {
         assert!(g.is_fan_of_any(UserId(0), &[UserId(2), UserId(1)]));
         assert!(!g.is_fan_of_any(UserId(0), &[UserId(2)]));
         assert!(!g.is_fan_of_any(UserId(0), &[]));
+    }
+
+    #[test]
+    fn fan_of_any_both_branches_agree() {
+        // User 0 watches a spread of targets; probe with candidate
+        // sets on both sides of the |candidates| > d branch point.
+        let mut b = GraphBuilder::new(64);
+        for t in [3u32, 9, 17, 30, 52] {
+            b.add_watch(UserId(0), UserId(t));
+        }
+        let g = b.build();
+        let reference = |c: &[UserId]| {
+            c.iter()
+                .any(|&x| g.friends(UserId(0)).binary_search(&x).is_ok())
+        };
+
+        // Small (binary-search branch), hit and miss.
+        assert!(g.is_fan_of_any(UserId(0), &[UserId(17)]));
+        assert!(!g.is_fan_of_any(UserId(0), &[UserId(18)]));
+        // Large sorted (two-pointer branch): every subset outcome
+        // matches the binary-search reference.
+        let sorted_hit: Vec<UserId> = (10..40).map(UserId).collect();
+        let sorted_miss: Vec<UserId> = (31..45).map(UserId).collect();
+        assert_eq!(
+            g.is_fan_of_any(UserId(0), &sorted_hit),
+            reference(&sorted_hit)
+        );
+        assert!(g.is_fan_of_any(UserId(0), &sorted_hit));
+        assert_eq!(
+            g.is_fan_of_any(UserId(0), &sorted_miss),
+            reference(&sorted_miss)
+        );
+        assert!(!g.is_fan_of_any(UserId(0), &sorted_miss));
+        // Large *unsorted* candidates must fall back, not miss.
+        let mut unsorted: Vec<UserId> = (10..40).rev().map(UserId).collect();
+        assert!(g.is_fan_of_any(UserId(0), &unsorted));
+        unsorted.retain(|&u| u != UserId(17) && u != UserId(30));
+        assert!(!g.is_fan_of_any(UserId(0), &unsorted));
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! * [`id`] — compact user identifiers.
 //! * [`graph`] — immutable CSR [`SocialGraph`] with O(log d) edge
 //!   queries and contiguous adjacency rows.
-//! * [`builder`] — incremental construction and deduplication.
+//! * [`builder`] — incremental construction and deduplication, with a
+//!   serial finaliser ([`GraphBuilder::build`]) and a sharded parallel
+//!   one ([`GraphBuilder::build_parallel`], bit-identical output; see
+//!   the `par_build` module and DESIGN.md §11).
 //! * [`visit`] — [`VisitBuffer`], an epoch-stamped user-set scratch
 //!   with O(1) clear for per-story sweeps.
 //! * [`traversal`] — BFS, reachability, weakly connected components.
@@ -29,7 +32,9 @@
 //! * [`temporal`] — dated fan links and as-of-date snapshot
 //!   reconstruction (the paper's Feb-2008 → June-2006 procedure).
 //! * [`generators`] — Erdős–Rényi, preferential attachment,
-//!   configuration-model and modular random graphs.
+//!   configuration-model and modular random graphs, plus sharded
+//!   thread-count-invariant variants of ER and the configuration
+//!   model on per-row `StreamRng` counter streams.
 //! * [`sampling`] — observation models: snowball crawls and partial
 //!   edge observation (scrape-fidelity ablations).
 //! * [`io`] — edge-list serialization.
@@ -43,12 +48,13 @@ pub mod graph;
 pub mod id;
 pub mod io;
 pub mod metrics;
+pub(crate) mod par_build;
 pub mod sampling;
 pub mod temporal;
 pub mod traversal;
 pub mod visit;
 
-pub use builder::GraphBuilder;
+pub use builder::{CsrCapacityError, GraphBuilder};
 pub use graph::SocialGraph;
 pub use id::UserId;
 pub use visit::VisitBuffer;

@@ -1,0 +1,119 @@
+//! Thread-invariance of the sharded CSR construction path (ISSUE 3
+//! acceptance): the parallel build and the sharded generators must
+//! produce graphs **bit-identical** to their 1-thread runs at the
+//! thread counts `DIGG_THREADS ∈ {1, 2, 8}` would select. Thread
+//! counts are passed explicitly — `des_core::par::worker_threads` is
+//! the only env parser, and every fan-out here takes the count as an
+//! argument.
+
+use proptest::prelude::*;
+use social_graph::generators::{configuration_model_sharded, erdos_renyi_sharded};
+use social_graph::{GraphBuilder, SocialGraph, UserId};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Edge lists with duplicates and self-loops over a modest id space
+/// (self-loops exercise the `add_watch` drop path; duplicates exercise
+/// per-shard dedup).
+fn edges_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..50, 0u32..50), 0..400)
+}
+
+fn builder_from(edges: &[(u32, u32)]) -> GraphBuilder {
+    let mut b = GraphBuilder::new(0);
+    b.extend_watches(edges.iter().map(|&(a, c)| (UserId(a), UserId(c))));
+    b
+}
+
+proptest! {
+    #[test]
+    fn parallel_build_equals_serial_build(edges in edges_strategy()) {
+        let serial = builder_from(&edges).build();
+        for threads in THREADS {
+            let parallel = builder_from(&edges).build_parallel(threads);
+            prop_assert_eq!(&parallel, &serial, "diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn sharded_erdos_renyi_is_thread_invariant(
+        seed in any::<u64>(),
+        n in 0usize..120,
+        p in 0.0f64..0.2,
+    ) {
+        let one = erdos_renyi_sharded(seed, n, p, 1);
+        for threads in THREADS {
+            prop_assert_eq!(
+                &erdos_renyi_sharded(seed, n, p, threads),
+                &one,
+                "diverged at {} threads",
+                threads
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_configuration_model_is_thread_invariant(
+        seed in any::<u64>(),
+        degs in prop::collection::vec(0usize..5, 0..80),
+    ) {
+        let attr: Vec<f64> = degs.iter().map(|&d| d as f64 + 0.5).collect();
+        let one = configuration_model_sharded(seed, &degs, &attr, 1);
+        for threads in THREADS {
+            prop_assert_eq!(
+                &configuration_model_sharded(seed, &degs, &attr, threads),
+                &one,
+                "diverged at {} threads",
+                threads
+            );
+        }
+    }
+}
+
+/// A fixed-seed run big enough to clear the parallel path's small-input
+/// fallback (≥ 8192 raw edges), so multi-shard bucketing, dedup and
+/// both scatters genuinely execute on every thread count.
+#[test]
+fn fixed_seed_large_build_is_bit_identical() {
+    let mut state = 0x2008_d166u64;
+    let mut next = move || {
+        // splitmix-style step, good enough to scatter edges around.
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let n = 5_000u32;
+    let edges: Vec<(u32, u32)> = (0..60_000).map(|_| (next() % n, next() % n)).collect();
+    let serial = builder_from(&edges).build();
+    assert!(
+        serial.edge_count() > 50_000,
+        "workload too small to be meaningful"
+    );
+    for threads in THREADS {
+        let parallel = builder_from(&edges).build_parallel(threads);
+        assert_eq!(
+            parallel, serial,
+            "parallel build diverged at {threads} threads"
+        );
+    }
+}
+
+/// The sharded generators at a fixed seed, across thread counts, on
+/// inputs large enough to fan out.
+#[test]
+fn fixed_seed_sharded_generators_are_bit_identical() {
+    let er: SocialGraph = erdos_renyi_sharded(77, 2_000, 0.006, 1);
+    assert!(er.edge_count() > 8_192, "ER workload too small to shard");
+    for threads in THREADS {
+        assert_eq!(erdos_renyi_sharded(77, 2_000, 0.006, threads), er);
+    }
+
+    let degs = vec![6usize; 2_000];
+    let attr: Vec<f64> = (0..2_000).map(|i| 1.0 + (i % 13) as f64).collect();
+    let cm = configuration_model_sharded(77, &degs, &attr, 1);
+    assert!(cm.edge_count() > 8_192, "CM workload too small to shard");
+    for threads in THREADS {
+        assert_eq!(configuration_model_sharded(77, &degs, &attr, threads), cm);
+    }
+}
