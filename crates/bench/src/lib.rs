@@ -38,6 +38,7 @@
 
 pub mod ablations;
 pub mod baseline;
+pub mod degradation;
 pub mod registry;
 pub mod scale;
 pub mod sweeps;
@@ -81,9 +82,23 @@ pub fn shared_synthesis() -> &'static Synthesis {
     })
 }
 
+/// Write `data` to `path` atomically: write a sibling `*.tmp` file,
+/// then rename over the target. A crash mid-write (or a concurrent
+/// reader — CI collecting artifacts while a bench still runs) never
+/// sees a truncated file; the rename either fully lands or doesn't.
+pub fn write_atomic(path: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("no file name in {}", path.display())))?;
+    let tmp = path.with_file_name(format!("{}.tmp", file_name.to_string_lossy()));
+    std::fs::File::create(&tmp).and_then(|mut f| f.write_all(data))?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Print a rendered result and, when `DIGG_RESULTS_DIR` is set, save
 /// `<name>.txt` (the rendering) and `<name>.json` (the serialized
-/// payload) there.
+/// payload) there. Artifact files are written atomically
+/// ([`write_atomic`]).
 pub fn emit<T: serde::Serialize>(name: &str, rendered: &str, payload: &T) {
     println!("{rendered}");
     let Ok(dir) = std::env::var("DIGG_RESULTS_DIR") else {
@@ -94,9 +109,7 @@ pub fn emit<T: serde::Serialize>(name: &str, rendered: &str, payload: &T) {
         eprintln!("[digg-bench] cannot create {}: {e}", dir.display());
         return;
     }
-    let write = |path: std::path::PathBuf, data: &[u8]| match std::fs::File::create(&path)
-        .and_then(|mut f| f.write_all(data))
-    {
+    let write = |path: std::path::PathBuf, data: &[u8]| match write_atomic(&path, data) {
         Ok(()) => eprintln!("[digg-bench] wrote {}", path.display()),
         Err(e) => eprintln!("[digg-bench] cannot write {}: {e}", path.display()),
     };
@@ -114,5 +127,19 @@ mod tests {
         // The test runner may set DIGG_SEED; only assert the parse
         // path doesn't panic.
         let _ = super::seed_from_env();
+    }
+
+    #[test]
+    fn write_atomic_lands_content_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("digg-bench-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        super::write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // Overwrite goes through the same tmp+rename path.
+        super::write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!dir.join("artifact.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

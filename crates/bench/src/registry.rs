@@ -129,6 +129,7 @@ pub struct ScaleRecord {
 static RUNS: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
 static BASELINES: Mutex<Vec<crate::baseline::BaselineRecord>> = Mutex::new(Vec::new());
 static SCALE: Mutex<Vec<ScaleRecord>> = Mutex::new(Vec::new());
+static DEGRADATION: Mutex<Vec<crate::degradation::DegradationRecord>> = Mutex::new(Vec::new());
 
 /// Store seed-baseline comparison rows for the next
 /// [`write_bench_summary`].
@@ -139,6 +140,11 @@ pub fn record_baselines(rows: Vec<crate::baseline::BaselineRecord>) {
 /// Store scale-trajectory rows for the next [`write_bench_summary`].
 pub fn record_scale(rows: Vec<ScaleRecord>) {
     SCALE.lock().unwrap().extend(rows);
+}
+
+/// Store predictor-decay rows for the next [`write_bench_summary`].
+pub fn record_degradation(rows: Vec<crate::degradation::DegradationRecord>) {
+    DEGRADATION.lock().unwrap().extend(rows);
 }
 
 fn fp(s: &Synthesis) -> usize {
@@ -220,7 +226,7 @@ fn run_fig5(s: &Synthesis) -> Vec<Artifact> {
         ),
     ) {
         let path = std::path::Path::new(&dir).join("fig5.dot");
-        if std::fs::write(&path, p.tree().to_dot()).is_ok() {
+        if crate::write_atomic(&path, p.tree().to_dot().as_bytes()).is_ok() {
             eprintln!("[digg-bench] wrote {}", path.display());
         }
     }
@@ -357,6 +363,13 @@ pub static REGISTRY: &[ExperimentSpec] = &[
             run: crate::scale::run_graph_scale,
         },
     },
+    ExperimentSpec {
+        name: "degradation_sweep",
+        about: "predictor precision/recall decay vs injected scrape-fault rates",
+        runner: Runner::Standalone {
+            run: crate::degradation::run_degradation_sweep,
+        },
+    },
 ];
 
 /// Look up an experiment by name.
@@ -404,11 +417,17 @@ struct BenchSummary {
     runs: Vec<RunRecord>,
     baseline: Vec<crate::baseline::BaselineRecord>,
     scale: Vec<ScaleRecord>,
+    /// Predictor-decay rows from `degradation_sweep`. Omitted when the
+    /// experiment did not run, so every other experiment's summary
+    /// stays byte-identical to before the field existed.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    degradation: Vec<crate::degradation::DegradationRecord>,
 }
 
 /// Write `bench_summary.json` (wall-times, throughput, baseline
 /// speedups) into `DIGG_RESULTS_DIR`, or the working directory when it
-/// is unset.
+/// is unset. The write is atomic (`*.tmp` + rename): a crash or a
+/// concurrent reader never sees a half-written summary.
 pub fn write_bench_summary() {
     let summary = BenchSummary {
         seed: seed_from_env(),
@@ -416,6 +435,7 @@ pub fn write_bench_summary() {
         runs: RUNS.lock().unwrap().clone(),
         baseline: BASELINES.lock().unwrap().clone(),
         scale: SCALE.lock().unwrap().clone(),
+        degradation: DEGRADATION.lock().unwrap().clone(),
     };
     let dir = std::env::var("DIGG_RESULTS_DIR").unwrap_or_else(|_| ".".to_string());
     let path = std::path::Path::new(&dir).join("bench_summary.json");
@@ -423,7 +443,7 @@ pub fn write_bench_summary() {
         let _ = std::fs::create_dir_all(parent);
     }
     match serde_json::to_vec_pretty(&summary) {
-        Ok(json) => match std::fs::write(&path, json) {
+        Ok(json) => match crate::write_atomic(&path, &json) {
             Ok(()) => eprintln!("[digg-bench] wrote {}", path.display()),
             Err(e) => eprintln!("[digg-bench] cannot write {}: {e}", path.display()),
         },
@@ -477,5 +497,32 @@ mod tests {
         let a = Artifact::new("t", "body".into(), &42u32);
         assert!(a.ok);
         assert!(!a.with_ok(false).ok);
+    }
+
+    #[test]
+    fn degradation_section_is_omitted_when_empty() {
+        // The summary field uses `skip_serializing_if`, so runs that
+        // never touch degradation_sweep keep their summary unchanged.
+        #[derive(Serialize, serde::Deserialize, PartialEq, Debug)]
+        struct Summary {
+            seed: u64,
+            #[serde(skip_serializing_if = "Vec::is_empty")]
+            degradation: Vec<u32>,
+        }
+        let empty = Summary {
+            seed: 1,
+            degradation: vec![],
+        };
+        let json = serde_json::to_string(&empty).unwrap();
+        assert!(!json.contains("degradation"), "field not skipped: {json}");
+        // An absent key deserializes back to the default (empty) vec.
+        assert_eq!(serde_json::from_str::<Summary>(&json).unwrap(), empty);
+        let full = Summary {
+            seed: 1,
+            degradation: vec![7],
+        };
+        let json = serde_json::to_string(&full).unwrap();
+        assert!(json.contains("degradation"));
+        assert_eq!(serde_json::from_str::<Summary>(&json).unwrap(), full);
     }
 }

@@ -167,13 +167,17 @@ fn builder_from(users: usize, edges: &[(UserId, UserId)]) -> GraphBuilder {
 }
 
 fn sweep_totals(graph: &SocialGraph, stories: &[Vec<UserId>], threads: usize) -> (u64, u64) {
-    let per_story = digg_core::sweep_map(graph, stories, threads, |sw, voters| {
+    // The fallible fan-out: a panicking shard surfaces as an
+    // aggregated WorkerPanic naming the failed shards instead of
+    // poisoning a join handle mid-batch.
+    let per_story = digg_core::try_sweep_map(graph, stories, threads, |sw, voters| {
         let s = sw.sweep(graph, voters);
         (
             s.in_network_count_within(voters.len()) as u64,
             s.influence_after(voters.len()) as u64,
         )
-    });
+    })
+    .unwrap_or_else(|e| panic!("graph_scale sweep worker panicked: {e}"));
     per_story
         .into_iter()
         .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))

@@ -30,7 +30,7 @@ use crate::registry::{record_baselines, Artifact};
 use digg_epidemics::{cascade_model, des};
 use digg_sim::baseline::TickSim;
 use digg_sim::population::{Population, PopulationConfig};
-use digg_sim::sweep::{run_sweep, ScenarioRun, ScenarioSpec};
+use digg_sim::sweep::{try_run_sweep, CellOutcome, ScenarioRun, ScenarioSpec};
 use digg_sim::{Kernel, Sim, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,13 +62,31 @@ pub struct EquivalenceCheck {
     pub ok: bool,
 }
 
+/// Identity of a sweep cell whose simulation panicked. The sweep
+/// itself survives — panic isolation in the fan-out — and the loss is
+/// surfaced here instead of aborting the experiment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PanickedCell {
+    /// Scenario name of the failed cell.
+    pub scenario: String,
+    /// Seed of the failed run.
+    pub seed: u64,
+    /// Rendered panic payload.
+    pub message: String,
+}
+
 /// The timing-free `sim_sweep` artifact payload.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimSweepPayload {
     /// Per-seed tick-loop equivalence verdicts (all must hold).
     pub equivalence: Vec<EquivalenceCheck>,
-    /// The scenario grid results, row-major.
+    /// The scenario grid results, row-major (panicked cells omitted).
     pub runs: Vec<ScenarioRun>,
+    /// Cells that panicked. Empty — and omitted from the JSON, keeping
+    /// the payload byte-identical to before the field existed — on a
+    /// healthy sweep.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub panicked: Vec<PanickedCell>,
 }
 
 /// The toy scenario grid swept by `sim_sweep`.
@@ -117,8 +135,33 @@ pub fn sim_sweep_payload(seed: u64, threads: usize) -> SimSweepPayload {
         })
         .collect();
     let seeds: Vec<u64> = (0..3).map(|i| seed.wrapping_add(100 + i)).collect();
-    let runs = run_sweep(&sim_sweep_specs(), &seeds, threads);
-    SimSweepPayload { equivalence, runs }
+    // The panic-isolated runner: a poisoned cell would cost only its
+    // own grid slot, reported in `panicked`, not the whole experiment.
+    let outcomes = match try_run_sweep(&sim_sweep_specs(), &seeds, threads) {
+        Ok(outcomes) => outcomes,
+        Err(e) => panic!("sim_sweep worker panicked outside its cell: {e}"),
+    };
+    let mut runs = Vec::new();
+    let mut panicked = Vec::new();
+    for o in outcomes {
+        match o {
+            CellOutcome::Ok(run) => runs.push(run),
+            CellOutcome::Panicked {
+                scenario,
+                seed,
+                message,
+            } => panicked.push(PanickedCell {
+                scenario,
+                seed,
+                message,
+            }),
+        }
+    }
+    SimSweepPayload {
+        equivalence,
+        runs,
+        panicked,
+    }
 }
 
 /// A sparse, long-horizon scenario: almost nothing happens per minute,
@@ -206,11 +249,17 @@ pub fn run_sim_sweep(seed: u64) -> (Vec<Artifact>, usize) {
             r.metrics.promotions
         ));
     }
+    for p in &payload.panicked {
+        rendered.push_str(&format!(
+            "  PANICKED {:<16} seed {:>4}: {}\n",
+            p.scenario, p.seed, p.message
+        ));
+    }
     rendered.push_str(&format!(
         "sparse scenario ({sparse_minutes} min): tick loop {:.1} ms, event kernel {:.1} ms ({:.1}x), compat replay {:.1} ms\n",
         sparse.seed_ms, sparse.new_ms, sparse.speedup, sparse.new_single_ms
     ));
-    let ok = equivalence_ok && sparse.speedup > 1.0;
+    let ok = equivalence_ok && sparse.speedup > 1.0 && payload.panicked.is_empty();
     record_baselines(vec![sparse]);
     (
         vec![Artifact::new("sim_sweep", rendered, &payload).with_ok(ok)],

@@ -54,8 +54,10 @@ pub mod spread;
 pub mod story_metrics;
 
 pub use cascade::{in_network_count_within, in_network_flags};
-pub use features::{StoryFeatures, INTERESTINGNESS_THRESHOLD};
+pub use features::{FanCoverage, StoryFeatures, INTERESTINGNESS_THRESHOLD};
+pub use pipeline::{run_pipeline, run_pipeline_with_coverage, PipelineConfig, PipelineCoverage};
 pub use predictor::InterestingnessPredictor;
 pub use story_metrics::{
-    par_fold, par_join, par_map, sweep_map, worker_threads, StorySweep, StorySweeper,
+    par_fold, par_join, par_map, sweep_map, try_par_join, try_par_map, try_sweep_map,
+    worker_threads, PanicShard, StorySweep, StorySweeper, WorkerPanic,
 };

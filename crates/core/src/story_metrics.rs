@@ -157,44 +157,102 @@ impl StorySweep {
 }
 
 // The deterministic fan-out primitives (`worker_threads`, `chunk_size`,
-// `par_map`, `par_fold`) moved to `des-core::par` so the scenario-sweep
-// runner in `digg-sim` can share them; re-exported here so every
-// existing `digg_core::{par_map, worker_threads, …}` path keeps
-// working. `DIGG_THREADS` is parsed in exactly one place: des-core.
-pub use des_core::par::{chunk_size, par_fold, par_join, par_map, worker_threads};
+// `par_map`, `par_fold`, and the fallible `try_par_map`/`try_par_join`
+// layer) moved to `des-core::par` so the scenario-sweep runner in
+// `digg-sim` can share them; re-exported here so every existing
+// `digg_core::{par_map, worker_threads, …}` path keeps working.
+// `DIGG_THREADS` is parsed in exactly one place: des-core.
+pub use des_core::par::{
+    chunk_size, panic_message, par_fold, par_join, par_map, try_par_join, try_par_map,
+    worker_threads, PanicShard, WorkerPanic,
+};
+
+/// Fallible [`sweep_map`]: identical chunking, per-thread sweepers and
+/// output order, but a panic inside a worker is caught per shard —
+/// every other shard still runs to completion and the failures come
+/// back aggregated as one [`WorkerPanic`] naming each failed shard's
+/// item range. With no panic the result is bit-identical to
+/// [`sweep_map`] at any thread count.
+pub fn try_sweep_map<T, R, F>(
+    graph: &SocialGraph,
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut StorySweeper, &T) -> R + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    // `AssertUnwindSafe` is sound for the same reason as in
+    // `des_core::par::run_shard`: a panicking shard's sweeper and
+    // partial output are dropped during the unwind and never observed.
+    let run_shard = |part: &[T]| -> Result<Vec<R>, String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut sweeper = StorySweeper::new(graph);
+            part.iter().map(|t| f(&mut sweeper, t)).collect::<Vec<R>>()
+        }))
+        .map_err(|p| panic_message(p.as_ref()))
+    };
+    let chunk = chunk_size(items.len(), threads);
+    if chunk >= items.len() {
+        return run_shard(items).map_err(|message| WorkerPanic {
+            shards: 1,
+            failed: vec![PanicShard {
+                shard: 0,
+                start: 0,
+                len: items.len(),
+                message,
+            }],
+        });
+    }
+    std::thread::scope(|scope| {
+        let run_shard = &run_shard;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || run_shard(part)))
+            .collect();
+        let shards = handles.len();
+        let mut out = Vec::with_capacity(items.len());
+        let mut failed = Vec::new();
+        for (i, h) in handles.into_iter().enumerate() {
+            let res = h.join().unwrap_or_else(|p| Err(panic_message(p.as_ref())));
+            match res {
+                Ok(part) => out.extend(part),
+                Err(message) => failed.push(PanicShard {
+                    shard: i,
+                    start: i * chunk,
+                    len: chunk.min(items.len() - i * chunk),
+                    message,
+                }),
+            }
+        }
+        if failed.is_empty() {
+            Ok(out)
+        } else {
+            Err(WorkerPanic { shards, failed })
+        }
+    })
+}
 
 /// [`par_map`] handing each worker thread its own [`StorySweeper`]
 /// sized for `graph` — the batch path for per-story analytics: one
 /// voter walk per story, one scratch buffer per thread, zero per-story
 /// allocation.
+///
+/// Layered on [`try_sweep_map`]: a worker panic (a bug in `f`) is
+/// re-raised here with the aggregated shard report.
 pub fn sweep_map<T, R, F>(graph: &SocialGraph, items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&mut StorySweeper, &T) -> R + Sync,
 {
-    let chunk = chunk_size(items.len(), threads);
-    if chunk >= items.len() {
-        let mut sweeper = StorySweeper::new(graph);
-        return items.iter().map(|t| f(&mut sweeper, t)).collect();
+    match try_sweep_map(graph, items, threads, f) {
+        Ok(out) => out,
+        Err(e) => panic!("worker thread panicked: {e}"),
     }
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    let mut sweeper = StorySweeper::new(graph);
-                    part.iter().map(|t| f(&mut sweeper, t)).collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for h in handles {
-            out.extend(h.join().expect("worker thread panicked"));
-        }
-        out
-    })
 }
 
 #[cfg(test)]
@@ -308,6 +366,43 @@ mod tests {
         for threads in [1, 2, 8] {
             let par = sweep_map(&g, &stories, threads, |sw, v| sw.sweep(&g, v).clone());
             assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_sweep_map_is_bit_identical_without_panics() {
+        let g = graph();
+        let stories: Vec<Vec<UserId>> = (0..11)
+            .map(|i| vec![UserId(i % 7), UserId((i + 1) % 7)])
+            .collect();
+        let serial = sweep_map(&g, &stories, 1, |sw, v| sw.sweep(&g, v).clone());
+        for threads in [1, 2, 8] {
+            let fallible = try_sweep_map(&g, &stories, threads, |sw, v| sw.sweep(&g, v).clone());
+            assert_eq!(fallible.as_ref().ok(), Some(&serial), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_sweep_map_isolates_a_poisoned_story() {
+        let g = graph();
+        let stories: Vec<Vec<UserId>> = (0..24)
+            .map(|i| vec![UserId(i % 7), UserId((i + 1) % 7)])
+            .collect();
+        for threads in [1, 2, 8] {
+            let err = try_sweep_map(&g, &stories, threads, |sw, v| {
+                if v[0] == UserId(5) && v[1] == UserId(6) {
+                    panic!("poisoned story");
+                }
+                sw.sweep(&g, v).clone()
+            })
+            .unwrap_err();
+            assert!(!err.failed.is_empty());
+            assert!(err.to_string().contains("poisoned story"));
+            // Item 5 (and 12, 19) are the poisoned ones; every failed
+            // shard must actually contain one of them.
+            for s in &err.failed {
+                assert!((s.start..s.start + s.len).any(|i| i % 7 == 5));
+            }
         }
     }
 

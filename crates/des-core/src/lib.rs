@@ -17,7 +17,11 @@
 //!   [`par_join`] for heterogeneous tasks over disjoint `&mut`
 //!   regions, [`worker_threads`] honouring `DIGG_THREADS`): contiguous
 //!   chunks, outputs recombined in task order, bit-identical results
-//!   at any thread count.
+//!   at any thread count. The fallible layer ([`try_par_map`],
+//!   [`try_par_join`]) catches per-shard panics, drains the remaining
+//!   shards, and aggregates the failures into a [`WorkerPanic`] so
+//!   batch drivers can fail one poisoned work item instead of the
+//!   whole batch.
 //!
 //! `digg-sim` runs the platform simulator on this kernel (with the seed
 //! tick loop kept as an equivalence baseline) and `digg-epidemics` runs
@@ -29,6 +33,9 @@ pub mod par;
 pub mod queue;
 pub mod rng;
 
-pub use par::{chunk_size, par_fold, par_join, par_map, worker_threads};
+pub use par::{
+    chunk_size, panic_message, par_fold, par_join, par_map, try_par_join, try_par_map,
+    worker_threads, PanicShard, WorkerPanic,
+};
 pub use queue::{Event, EventId, EventQueue};
 pub use rng::StreamRng;

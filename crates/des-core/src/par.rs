@@ -6,6 +6,25 @@
 //! chunk, and per-chunk outputs are recombined **in chunk order** — so
 //! results are bit-identical at any thread count and `DIGG_THREADS` is
 //! a pure throughput knob.
+//!
+//! Two API layers share the same chunking (see DESIGN.md §12):
+//!
+//! * the **fallible** layer — [`try_par_map`] / [`try_par_join`] —
+//!   catches a panic inside any worker shard, still drains every other
+//!   shard to completion, and reports the failures as one aggregated
+//!   [`WorkerPanic`] naming each failed shard and its item range;
+//! * the **infallible** layer — [`par_map`] / [`par_join`] /
+//!   [`par_fold`] — is built on top and simply re-panics with the
+//!   aggregated message, preserving the original fail-fast contract
+//!   for callers that treat a worker panic as a bug.
+//!
+//! Batch drivers that must survive one poisoned work item (the
+//! scenario-sweep runner, the degradation harness) route through the
+//! fallible layer so a single panicking scenario fails that scenario,
+//! not the whole batch.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Worker-thread count for batch fan-out: the `DIGG_THREADS`
 /// environment variable when set to a positive integer, otherwise the
@@ -32,11 +51,89 @@ pub fn chunk_size(n: usize, threads: usize) -> usize {
     n.div_ceil(threads.max(1)).max(1)
 }
 
-/// Deterministic parallel map: `out[i] == f(&items[i])` regardless of
-/// `threads`. Items are split into contiguous chunks, one scoped
-/// thread per chunk, and per-chunk outputs are concatenated in chunk
-/// order — bit-identical results at any thread count.
-pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// One worker shard that panicked during a fallible fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicShard {
+    /// Index of the shard among the shards of the fan-out.
+    pub shard: usize,
+    /// Index of the shard's first item in the input slice (the task
+    /// index for [`try_par_join`]).
+    pub start: usize,
+    /// Number of items the shard owned.
+    pub len: usize,
+    /// The panic payload, rendered (`&str`/`String` payloads verbatim,
+    /// anything else a placeholder).
+    pub message: String,
+}
+
+/// Aggregated failure of a fallible fan-out: every shard ran to
+/// completion or unwound, and these are the ones that unwound. The
+/// successful shards' outputs are discarded — reproducing them is
+/// cheap and deterministic, and a partial result would be too easy to
+/// mistake for a complete one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Total shards the fan-out ran.
+    pub shards: usize,
+    /// The shards that panicked, in shard order.
+    pub failed: Vec<PanicShard>,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} worker shards panicked:",
+            self.failed.len(),
+            self.shards
+        )?;
+        for s in &self.failed {
+            write!(
+                f,
+                " [shard {} items {}..{}: {}]",
+                s.shard,
+                s.start,
+                s.start + s.len,
+                s.message
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Render a panic payload: `&str` and `String` payloads verbatim,
+/// anything else a placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run one shard under `catch_unwind`.
+///
+/// `AssertUnwindSafe` is sound here because a panicking shard's output
+/// vector is dropped during the unwind and never observed, and the
+/// fan-out as a whole returns `Err` — callers never see state from a
+/// shard that did not complete.
+fn run_shard<T, R>(part: &[T], f: &(impl Fn(&T) -> R + Sync)) -> Result<Vec<R>, String> {
+    catch_unwind(AssertUnwindSafe(|| part.iter().map(f).collect()))
+        .map_err(|p| panic_message(p.as_ref()))
+}
+
+/// Fallible [`par_map`]: identical chunking and output order, but a
+/// panic inside a worker is caught per shard. Every other shard still
+/// runs to completion (work is drained, not abandoned), and the error
+/// aggregates all failed shards with their item ranges.
+///
+/// With no panic the result is bit-identical to [`par_map`] at any
+/// thread count.
+pub fn try_par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, WorkerPanic>
 where
     T: Sync,
     R: Send,
@@ -44,20 +141,64 @@ where
 {
     let chunk = chunk_size(items.len(), threads);
     if chunk >= items.len() {
-        return items.iter().map(f).collect();
+        return run_shard(items, &f).map_err(|message| WorkerPanic {
+            shards: 1,
+            failed: vec![PanicShard {
+                shard: 0,
+                start: 0,
+                len: items.len(),
+                message,
+            }],
+        });
     }
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .map(|part| scope.spawn(move || run_shard(part, f)))
             .collect();
+        let shards = handles.len();
         let mut out = Vec::with_capacity(items.len());
-        for h in handles {
-            out.extend(h.join().expect("worker thread panicked"));
+        let mut failed = Vec::new();
+        for (i, h) in handles.into_iter().enumerate() {
+            // The shard closure catches panics itself; `join` can only
+            // report one if the unwind escaped `catch_unwind`.
+            let res = h.join().unwrap_or_else(|p| Err(panic_message(p.as_ref())));
+            match res {
+                Ok(part) => out.extend(part),
+                Err(message) => failed.push(PanicShard {
+                    shard: i,
+                    start: i * chunk,
+                    len: chunk.min(items.len() - i * chunk),
+                    message,
+                }),
+            }
         }
-        out
+        if failed.is_empty() {
+            Ok(out)
+        } else {
+            Err(WorkerPanic { shards, failed })
+        }
     })
+}
+
+/// Deterministic parallel map: `out[i] == f(&items[i])` regardless of
+/// `threads`. Items are split into contiguous chunks, one scoped
+/// thread per chunk, and per-chunk outputs are concatenated in chunk
+/// order — bit-identical results at any thread count.
+///
+/// Layered on [`try_par_map`]: a worker panic (a bug in `f`) is
+/// re-raised here with the aggregated shard report.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match try_par_map(items, threads, f) {
+        Ok(out) => out,
+        Err(e) => panic!("worker thread panicked: {e}"),
+    }
 }
 
 /// Deterministic parallel fold: each contiguous chunk is folded on its
@@ -118,20 +259,67 @@ where
 ///
 /// With zero or one task (or when the caller asked for one thread via
 /// a single task) everything runs inline on the current thread.
+///
+/// Layered on [`try_par_join`]: a task panic is re-raised here with
+/// the aggregated shard report.
 pub fn par_join<T, F>(tasks: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    if tasks.len() <= 1 {
-        return tasks.into_iter().map(|f| f()).collect();
+    match try_par_join(tasks) {
+        Ok(out) => out,
+        Err(e) => panic!("worker thread panicked: {e}"),
+    }
+}
+
+/// Fallible [`par_join`]: each task runs on its own scoped thread (one
+/// shard per task) under `catch_unwind`; a panicking task does not
+/// stop the others, and all failures come back aggregated as one
+/// [`WorkerPanic`] whose `start` is the task index.
+///
+/// With no panic the result is bit-identical to [`par_join`].
+pub fn try_par_join<T, F>(tasks: Vec<F>) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let shards = tasks.len();
+    let collect = |results: Vec<Result<T, String>>| {
+        let mut out = Vec::with_capacity(shards);
+        let mut failed = Vec::new();
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(v) => out.push(v),
+                Err(message) => failed.push(PanicShard {
+                    shard: i,
+                    start: i,
+                    len: 1,
+                    message,
+                }),
+            }
+        }
+        if failed.is_empty() {
+            Ok(out)
+        } else {
+            Err(WorkerPanic { shards, failed })
+        }
+    };
+    let run_task = |f: F| catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(p.as_ref()));
+    if shards <= 1 {
+        return collect(tasks.into_iter().map(run_task).collect());
     }
     std::thread::scope(|scope| {
-        let handles: Vec<_> = tasks.into_iter().map(|f| scope.spawn(f)).collect();
-        handles
+        let handles: Vec<_> = tasks
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+            .map(|f| scope.spawn(move || run_task(f)))
+            .collect();
+        collect(
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| Err(panic_message(p.as_ref()))))
+                .collect(),
+        )
     })
 }
 
@@ -184,6 +372,71 @@ mod tests {
             Box::new(move || hi.fill(2)),
         ]);
         assert_eq!(buf, [1, 1, 1, 1, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(try_par_map(&items, threads, |x| x * 3), Ok(serial.clone()));
+        }
+    }
+
+    #[test]
+    fn try_par_map_isolates_a_poisoned_shard() {
+        let items: Vec<u64> = (0..40).collect();
+        for threads in [1, 2, 8] {
+            let err = try_par_map(&items, threads, |&x| {
+                if x == 17 {
+                    panic!("poisoned item {x}");
+                }
+                x
+            })
+            .unwrap_err();
+            assert_eq!(err.failed.len(), 1, "one shard holds item 17");
+            let shard = &err.failed[0];
+            assert!((shard.start..shard.start + shard.len).contains(&17));
+            assert!(shard.message.contains("poisoned item 17"));
+            assert!(err.to_string().contains("poisoned item 17"));
+            assert!(err.shards >= err.failed.len());
+        }
+    }
+
+    #[test]
+    fn try_par_join_drains_surviving_tasks() {
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("task two down")),
+            Box::new(|| 3),
+        ];
+        let err = try_par_join(tasks).unwrap_err();
+        assert_eq!(err.shards, 3);
+        assert_eq!(err.failed.len(), 1);
+        assert_eq!(err.failed[0].start, 1);
+        assert!(err.failed[0].message.contains("task two down"));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn par_map_still_fails_fast_on_worker_panic() {
+        let items: Vec<u64> = (0..32).collect();
+        par_map(&items, 4, |&x| {
+            if x == 5 {
+                panic!("bug in f");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(s.as_ref()), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(panic_message(s.as_ref()), "<non-string panic payload>");
     }
 
     #[test]

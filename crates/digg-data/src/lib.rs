@@ -32,15 +32,26 @@
 //! * [`io`] — JSON serialization of datasets.
 //! * [`validate`] — dataset invariants (the 43/42 promotion boundary
 //!   and friends).
+//! * [`faults`] — deterministic scrape-fault injection
+//!   ([`faults::FaultPlan`]): the failure modes real collection hits,
+//!   driven by per-entity [`des_core::StreamRng`] streams.
+//! * [`ingest`] — strict/lenient dataset ingestion: strict loading
+//!   returns a typed error on the first violation; lenient loading
+//!   repairs or quarantines bad records and reports a
+//!   [`ingest::DegradationReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
+pub mod ingest;
 pub mod io;
 pub mod model;
 pub mod scrape;
 pub mod synth;
 pub mod validate;
 
+pub use faults::{FaultLog, FaultPlan, RetryPolicy};
+pub use ingest::{DegradationReport, IngestMode, QuarantinedRecord};
 pub use model::{DiggDataset, SampleSource, StoryRecord};
 pub use synth::{synthesize, SynthConfig, Synthesis};

@@ -6,7 +6,13 @@
 //! structural set and returns every violation (empty = valid).
 
 use crate::model::{DiggDataset, SampleSource};
+use std::collections::HashMap;
 use std::collections::HashSet;
+
+/// Rule id of the informational fan-coverage measurement (see
+/// [`informational`]); never emitted by [`validate`] because low
+/// coverage is a *condition*, not a structural violation.
+pub const FAN_COVERAGE_RULE: &str = "fan-coverage";
 
 /// One violated invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +36,9 @@ impl std::fmt::Display for Violation {
 /// * `promotion-boundary-up` — every upcoming record has fewer than
 ///   `threshold` scraped votes (paper: none above 42 in the queue);
 /// * `submitter-first` — each voter list starts with the submitter;
-/// * `no-duplicate-voters` — no voter appears twice on one story;
+/// * `no-duplicate-voters` — no voter appears twice on one story
+///   (every duplicated voter is reported, once each, with its
+///   occurrence count);
 /// * `final-not-below-scraped` — augmented totals never undercut the
 ///   scraped count;
 /// * `voters-in-network` — every voter id exists in the scraped
@@ -70,13 +78,16 @@ pub fn validate(ds: &DiggDataset, threshold: usize) -> Vec<Violation> {
                 detail: format!("story {id} voter list does not start with its submitter"),
             });
         }
-        let mut seen = HashSet::new();
+        // Report *every* duplicated voter on the story (not just the
+        // first), each once, with its occurrence count — in first-seen
+        // order so output is deterministic.
+        let mut counts: HashMap<social_graph::UserId, usize> = HashMap::new();
+        let mut order = Vec::new();
         for &v in &r.voters {
-            if !seen.insert(v) {
-                out.push(Violation {
-                    rule: "no-duplicate-voters",
-                    detail: format!("story {id} has duplicate voter {v}"),
-                });
+            let c = counts.entry(v).or_insert(0);
+            *c += 1;
+            if *c == 2 {
+                order.push(v);
             }
             if v.index() >= ds.network.user_count() {
                 out.push(Violation {
@@ -84,6 +95,15 @@ pub fn validate(ds: &DiggDataset, threshold: usize) -> Vec<Violation> {
                     detail: format!("story {id} voter {v} outside the scraped network"),
                 });
             }
+        }
+        for v in order {
+            out.push(Violation {
+                rule: "no-duplicate-voters",
+                detail: format!(
+                    "story {id} has duplicate voter {v} ({} occurrences)",
+                    counts[&v]
+                ),
+            });
         }
         if let Some(fin) = r.final_votes {
             if (fin as usize) < r.voters.len() {
@@ -107,6 +127,45 @@ pub fn validate(ds: &DiggDataset, threshold: usize) -> Vec<Violation> {
         }
     }
     out
+}
+
+/// Fraction of distinct voters (across both samples) with at least one
+/// observed fan link in the scraped network. On a lossy scrape —
+/// dropped or partial fan lists — this falls below its clean-scrape
+/// value; the lenient loader reports it so downstream consumers see
+/// *how much* network the analyses actually stand on.
+pub fn fan_coverage(ds: &DiggDataset) -> f64 {
+    let mut voters = HashSet::new();
+    for r in ds.all_records() {
+        for &v in &r.voters {
+            if v.index() < ds.network.user_count() {
+                voters.insert(v);
+            }
+        }
+    }
+    if voters.is_empty() {
+        return 1.0;
+    }
+    let covered = voters
+        .iter()
+        .filter(|&&v| ds.network.fan_count(v) > 0)
+        .count();
+    covered as f64 / voters.len() as f64
+}
+
+/// Informational observations that are *reported* but never fail
+/// validation. Currently one rule:
+///
+/// * `fan-coverage` — the [`fan_coverage`] measurement, surfaced so
+///   degradation reports can carry it under a stable rule id.
+pub fn informational(ds: &DiggDataset) -> Vec<Violation> {
+    vec![Violation {
+        rule: FAN_COVERAGE_RULE,
+        detail: format!(
+            "{:.4} of distinct voters have at least one observed fan",
+            fan_coverage(ds)
+        ),
+    }]
 }
 
 /// Statistical summary used by the calibration report and tests.
@@ -218,6 +277,49 @@ mod tests {
         let v = validate(&ds, 1);
         assert!(v.iter().any(|x| x.rule == "submitter-first"));
         assert!(v.iter().any(|x| x.rule == "no-duplicate-voters"));
+    }
+
+    #[test]
+    fn all_duplicate_voters_reported_once_each() {
+        // Voter 1 appears 3×, voter 2 appears 2×: both reported, each
+        // exactly once, with occurrence counts.
+        let ds = dataset(
+            vec![record(
+                0,
+                vec![0, 1, 1, 2, 1, 2],
+                SampleSource::FrontPage,
+                None,
+            )],
+            vec![],
+        );
+        let v: Vec<_> = validate(&ds, 1)
+            .into_iter()
+            .filter(|x| x.rule == "no-duplicate-voters")
+            .collect();
+        assert_eq!(v.len(), 2);
+        assert!(v[0].detail.contains("voter u1 (3 occurrences)"));
+        assert!(v[1].detail.contains("voter u2 (2 occurrences)"));
+    }
+
+    #[test]
+    fn fan_coverage_counts_voters_with_fans() {
+        let mut g = GraphBuilder::new(4);
+        g.add_watch(UserId(1), UserId(0)); // user 0 has a fan
+        let ds = DiggDataset {
+            scraped_at: Minute(0),
+            front_page: vec![record(0, vec![0, 1], SampleSource::FrontPage, None)],
+            upcoming: vec![],
+            network: g.build(),
+            top_users: vec![],
+        };
+        // Voters {0, 1}; only 0 has a fan.
+        assert_eq!(fan_coverage(&ds), 0.5);
+        let info = informational(&ds);
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].rule, FAN_COVERAGE_RULE);
+        assert!(info[0].detail.contains("0.5000"));
+        // Informational rules never appear in validate output.
+        assert!(validate(&ds, 1).iter().all(|v| v.rule != FAN_COVERAGE_RULE));
     }
 
     #[test]

@@ -69,16 +69,98 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> ScenarioRun {
     }
 }
 
+/// The outcome of one sweep cell under the panic-isolating runner:
+/// either the completed run, or the identity of the scenario that
+/// panicked plus its rendered panic message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// The cell ran to completion.
+    Ok(ScenarioRun),
+    /// The cell's simulation panicked; the rest of the batch is
+    /// unaffected.
+    Panicked {
+        /// Name of the scenario that failed.
+        scenario: String,
+        /// The seed of the failed run.
+        seed: u64,
+        /// Rendered panic payload.
+        message: String,
+    },
+}
+
+impl CellOutcome {
+    /// The completed run, if the cell succeeded.
+    pub fn run(&self) -> Option<&ScenarioRun> {
+        match self {
+            CellOutcome::Ok(run) => Some(run),
+            CellOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Did the cell fail?
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, CellOutcome::Panicked { .. })
+    }
+}
+
 /// Run the full `specs x seeds` grid, fanned across `threads` worker
 /// threads. Output order is the grid in row-major order (all seeds of
 /// `specs[0]`, then `specs[1]`, …) regardless of thread count.
+///
+/// A panic in any cell aborts the whole sweep (layered on
+/// [`try_run_sweep`], which callers that must survive a poisoned
+/// scenario should use instead).
 pub fn run_sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> Vec<ScenarioRun> {
+    let outcomes = match try_run_sweep(specs, seeds, threads) {
+        Ok(outcomes) => outcomes,
+        Err(e) => panic!("worker thread panicked: {e}"),
+    };
+    outcomes
+        .into_iter()
+        .map(|o| match o {
+            CellOutcome::Ok(run) => run,
+            CellOutcome::Panicked {
+                scenario,
+                seed,
+                message,
+            } => panic!("scenario '{scenario}' (seed {seed}) panicked: {message}"),
+        })
+        .collect()
+}
+
+/// Panic-isolated sweep: each `(scenario, seed)` cell runs under its
+/// own `catch_unwind`, so one poisoned scenario fails *that cell* —
+/// reported as [`CellOutcome::Panicked`] in grid position — while
+/// every other cell completes normally. Cells fan out through
+/// [`des_core::try_par_map`] (defense in depth: a panic escaping the
+/// per-cell catch still only fails its shard, not the process).
+///
+/// With no panic anywhere the cell payloads are bit-identical to
+/// [`run_sweep`] at any thread count.
+pub fn try_run_sweep(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+    threads: usize,
+) -> Result<Vec<CellOutcome>, des_core::WorkerPanic> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     let cells: Vec<(usize, u64)> = specs
         .iter()
         .enumerate()
         .flat_map(|(i, _)| seeds.iter().map(move |&s| (i, s)))
         .collect();
-    des_core::par_map(&cells, threads, |&(i, seed)| run_scenario(&specs[i], seed))
+    des_core::try_par_map(&cells, threads, |&(i, seed)| {
+        let spec = &specs[i];
+        // AssertUnwindSafe: a panicking cell's partially built Sim is
+        // dropped during the unwind; only the outcome value escapes.
+        match catch_unwind(AssertUnwindSafe(|| run_scenario(spec, seed))) {
+            Ok(run) => CellOutcome::Ok(run),
+            Err(p) => CellOutcome::Panicked {
+                scenario: spec.name.clone(),
+                seed,
+                message: des_core::panic_message(p.as_ref()),
+            },
+        }
+    })
 }
 
 #[cfg(test)]
@@ -115,6 +197,75 @@ mod tests {
             assert_eq!(run_sweep(&specs, &seeds, threads), one);
         }
         assert_eq!(one.len(), 6);
+    }
+
+    #[test]
+    fn try_sweep_matches_run_sweep_without_faults() {
+        let specs = toy_specs();
+        let seeds = [1u64, 2, 3];
+        let plain = run_sweep(&specs, &seeds, 1);
+        for threads in [1, 2, 8] {
+            let outcomes = try_run_sweep(&specs, &seeds, threads).unwrap();
+            let runs: Vec<&ScenarioRun> = outcomes.iter().filter_map(|o| o.run()).collect();
+            assert_eq!(runs.len(), plain.len());
+            for (a, b) in runs.iter().zip(&plain) {
+                assert_eq!(*a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_scenario_fails_only_its_cells() {
+        // A zero-user population trips `Population::generate`'s
+        // non-empty assert — a deterministic in-cell panic.
+        let mut specs = toy_specs();
+        specs.insert(
+            1,
+            ScenarioSpec {
+                name: "poisoned".into(),
+                cfg: SimConfig::toy(0),
+                pop_cfg: PopulationConfig::toy(0),
+                kernel: Kernel::Compat,
+                minutes: 240,
+            },
+        );
+        let seeds = [7u64, 8];
+        let one = try_run_sweep(&specs, &seeds, 1).unwrap();
+        assert_eq!(one.len(), 6);
+        // Only the poisoned scenario's cells fail, in grid position,
+        // carrying the cell identity and the panic message.
+        for (k, outcome) in one.iter().enumerate() {
+            if k == 2 || k == 3 {
+                match outcome {
+                    CellOutcome::Panicked {
+                        scenario,
+                        seed,
+                        message,
+                    } => {
+                        assert_eq!(scenario, "poisoned");
+                        assert_eq!(*seed, seeds[k - 2]);
+                        assert!(
+                            message.contains("population must be non-empty"),
+                            "unexpected panic message: {message}"
+                        );
+                    }
+                    CellOutcome::Ok(_) => panic!("poisoned cell {k} completed"),
+                }
+            } else {
+                assert!(!outcome.is_panicked(), "healthy cell {k} failed");
+            }
+        }
+        // The healthy cells are bit-identical to an all-healthy sweep,
+        // and the whole outcome grid is thread-count invariant.
+        let healthy = run_sweep(&toy_specs(), &seeds, 1);
+        let survivors: Vec<&ScenarioRun> = one.iter().filter_map(|o| o.run()).collect();
+        assert_eq!(survivors.len(), healthy.len());
+        for (a, b) in survivors.iter().zip(&healthy) {
+            assert_eq!(*a, b);
+        }
+        for threads in [2, 8] {
+            assert_eq!(try_run_sweep(&specs, &seeds, threads).unwrap(), one);
+        }
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! Graphs round-trip through a plain text edge list (`fan watched`
 //! per line) and through serde (the adjacency representation derives
 //! `Serialize`/`Deserialize`). The text format is what the dataset
-//! artifacts ship.
+//! artifacts ship. File access goes through [`load_edge_list`] /
+//! [`save_edge_list`], which return a typed [`IoError`] — a missing
+//! or malformed file is a value, never a panic.
 
 use crate::builder::GraphBuilder;
 use crate::graph::SocialGraph;
 use crate::id::UserId;
+use std::path::Path;
 
 /// Errors from parsing an edge list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +33,63 @@ impl std::fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// Errors from reading or writing edge-list files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file was read but its contents are not an edge list.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "edge list io error: {e}"),
+            IoError::Parse(e) => write!(f, "edge list parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> IoError {
+        IoError::Io(e)
+    }
+}
+
+impl From<ParseError> for IoError {
+    fn from(e: ParseError) -> IoError {
+        IoError::Parse(e)
+    }
+}
+
+/// Read a graph from an edge-list file. Both failure modes — the file
+/// being unreadable and its contents being malformed — come back as a
+/// typed [`IoError`].
+pub fn load_edge_list(path: &Path, min_users: usize) -> Result<SocialGraph, IoError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(from_edge_list(&text, min_users)?)
+}
+
+/// Write a graph to an edge-list file atomically: the text is written
+/// to `<path>.tmp` and renamed into place, so a crash mid-write never
+/// leaves a truncated file behind.
+pub fn save_edge_list(g: &SocialGraph, path: &Path) -> Result<(), IoError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, to_edge_list(g))?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
 
 /// Render the graph as a text edge list, one `fan watched` pair per
 /// line, ascending. Lines starting with `#` are comments.
@@ -104,6 +164,41 @@ mod tests {
     fn min_users_pads_isolated_nodes() {
         let g = from_edge_list("0 1\n", 10).unwrap();
         assert_eq!(g.user_count(), 10);
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_typed() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("social-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.edges");
+        save_edge_list(&g, &path).unwrap();
+        // No temp file is left behind after the rename.
+        assert!(!path.with_extension("tmp").exists());
+        let g2 = load_edge_list(&path, g.user_count()).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error_not_panic() {
+        let err = load_edge_list(Path::new("/nonexistent/nope.edges"), 0).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn load_malformed_file_is_parse_error_not_panic() {
+        let dir = std::env::temp_dir().join("social-graph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.edges");
+        std::fs::write(&path, "0 1\nnot an edge\n").unwrap();
+        let err = load_edge_list(&path, 0).unwrap_err();
+        match err {
+            IoError::Parse(p) => assert_eq!(p, ParseError::Malformed { line: 2 }),
+            other => panic!("expected Parse, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

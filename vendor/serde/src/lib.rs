@@ -389,6 +389,18 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     }
 }
 
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<BTreeMap<String, V>, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", "BTreeMap", value)),
+        }
+    }
+}
+
 impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
         // Sort for deterministic output, like maps feeding hashers.

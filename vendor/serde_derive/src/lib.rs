@@ -14,8 +14,11 @@
 //! upstream), unit structs, and enums with unit / tuple / struct
 //! variants using upstream serde_json's "externally tagged" encoding.
 //! Field attribute `#[serde(skip)]` omits a field on serialize and
-//! fills it from `Default::default()` on deserialize. Generic types
-//! are not supported.
+//! fills it from `Default::default()` on deserialize. Named-struct
+//! fields also support `#[serde(skip_serializing_if = "path")]`: the
+//! entry is omitted when `path(&self.field)` is true, and an absent
+//! key deserializes to `Default::default()`. Generic types are not
+//! supported.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -74,6 +77,10 @@ enum Shape {
 struct Field {
     name: String,
     skip: bool,
+    /// Predicate path from `skip_serializing_if = "path"`: the entry
+    /// is omitted when `path(&self.field)` holds, and deserialization
+    /// treats a missing key as `Default::default()`.
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -170,6 +177,32 @@ fn serde_attr_contains(attr_body: TokenStream, word: &str) -> bool {
     }
 }
 
+/// Value of a `key = "literal"` entry in a `[serde(...)]` attribute
+/// group body, with the surrounding quotes stripped.
+fn serde_attr_value(attr_body: TokenStream, key: &str) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr_body.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            for (i, t) in args.iter().enumerate() {
+                let is_key = matches!(t, TokenTree::Ident(w) if w.to_string() == key);
+                if !is_key {
+                    continue;
+                }
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (args.get(i + 1), args.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        return Some(lit.to_string().trim_matches('"').to_string());
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
 /// Parse `{ attrs vis name: Type, ... }` keeping names + skip flags.
 /// Types are skipped by tracking `<`/`>` angle depth so commas inside
 /// `BTreeMap<K, V>` don't end the field early (function-pointer types
@@ -180,11 +213,14 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut i = 0;
     while i < tokens.len() {
         let mut skip = false;
+        let mut skip_if = None;
         loop {
             match &tokens[i] {
                 TokenTree::Punct(p) if p.as_char() == '#' => {
                     if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                        if serde_attr_contains(g.stream(), "skip") {
+                        if let Some(path) = serde_attr_value(g.stream(), "skip_serializing_if") {
+                            skip_if = Some(path);
+                        } else if serde_attr_contains(g.stream(), "skip") {
                             skip = true;
                         }
                     }
@@ -225,7 +261,11 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            skip_if,
+        });
     }
     fields
 }
@@ -310,6 +350,24 @@ fn serialize_named_struct(item: &Item, fields: &[Field]) -> String {
             item.name
         );
         return format!("serde::Serialize::to_value(&self.{})", live[0].name);
+    }
+    if live.iter().any(|f| f.skip_if.is_some()) {
+        // Conditional entries force the imperative form; the common
+        // all-unconditional case keeps the original static vec.
+        let mut stmts =
+            vec!["let mut entries: Vec<(String, serde::Value)> = Vec::new();".to_string()];
+        for f in &live {
+            let push = format!(
+                "entries.push(({:?}.to_string(), serde::Serialize::to_value(&self.{})));",
+                f.name, f.name
+            );
+            match &f.skip_if {
+                Some(path) => stmts.push(format!("if !{path}(&self.{}) {{ {push} }}", f.name)),
+                None => stmts.push(push),
+            }
+        }
+        stmts.push("serde::Value::Object(entries)".to_string());
+        return format!("{{\n{}\n}}", stmts.join("\n"));
     }
     let entries: Vec<String> = live
         .iter()
@@ -414,25 +472,34 @@ fn deserialize_named_struct(item: &Item, fields: &[Field]) -> String {
             skipped.join(" ")
         );
     }
-    let inits: Vec<String> = fields
-        .iter()
-        .map(|f| {
-            if f.skip {
-                format!("{}: Default::default(),", f.name)
-            } else {
-                format!(
-                    "{fld}: serde::from_field(entries, {fld:?}, {name:?})?,",
-                    fld = f.name
-                )
-            }
-        })
-        .collect();
+    let inits: Vec<String> = fields.iter().map(|f| field_init(f, name)).collect();
     format!(
         "let entries = value.as_object().ok_or_else(|| \
          serde::DeError::expected(\"object\", {name:?}, value))?;\n\
          Ok({name} {{ {} }})",
         inits.join(" ")
     )
+}
+
+/// One `field: <expr>,` initializer against a bound `entries` object.
+fn field_init(f: &Field, type_name: &str) -> String {
+    if f.skip {
+        format!("{}: Default::default(),", f.name)
+    } else if f.skip_if.is_some() {
+        // The entry may legitimately be absent (it was skipped on the
+        // serialize side); fall back to the default value.
+        format!(
+            "{fld}: match entries.iter().find(|(k, _)| k == {fld:?}) {{ \
+             Some((_, v)) => serde::Deserialize::from_value(v)?, \
+             None => Default::default(), }},",
+            fld = f.name
+        )
+    } else {
+        format!(
+            "{fld}: serde::from_field(entries, {fld:?}, {type_name:?})?,",
+            fld = f.name
+        )
+    }
 }
 
 fn deserialize_tuple_struct(item: &Item, n: usize) -> String {
@@ -483,19 +550,7 @@ fn deserialize_enum(item: &Item, variants: &[Variant]) -> String {
                 ));
             }
             VariantKind::Struct(fields) => {
-                let inits: Vec<String> = fields
-                    .iter()
-                    .map(|f| {
-                        if f.skip {
-                            format!("{}: Default::default(),", f.name)
-                        } else {
-                            format!(
-                                "{fld}: serde::from_field(entries, {fld:?}, {name:?})?,",
-                                fld = f.name
-                            )
-                        }
-                    })
-                    .collect();
+                let inits: Vec<String> = fields.iter().map(|f| field_init(f, name)).collect();
                 tagged_arms.push(format!(
                     "{vn:?} => {{\n\
                      let entries = content.as_object().ok_or_else(|| \
