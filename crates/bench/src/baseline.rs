@@ -12,6 +12,7 @@
 //! results are identical and *measures* the speedup recorded in
 //! `bench_summary.json`.
 
+use crate::timing::time_ms as time;
 use digg_core::experiments::{fig3, intext, scatter};
 use digg_core::worker_threads;
 use digg_data::synth::Synthesis;
@@ -20,7 +21,6 @@ use digg_sim::scenario::PROMOTION_THRESHOLD;
 use serde::Serialize;
 use social_graph::{metrics, SocialGraph, UserId};
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// One seed-vs-sweep timing row of `bench_summary.json`.
 #[derive(Debug, Clone, Serialize)]
@@ -55,12 +55,6 @@ impl BaselineRecord {
             single_thread_speedup: seed_ms / new_single_ms.max(1e-9),
         }
     }
-}
-
-fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
-    let out = f();
-    (out, t0.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Seed influence: fresh fan-union `HashSet` per checkpoint (the
@@ -183,7 +177,9 @@ pub fn compare(synthesis: &Synthesis) -> Vec<BaselineRecord> {
     let (_, sc_single_ms) = time(|| scatter::run_with(ds, 100, 1));
     let (seed_sc, sc_seed_ms) = time(|| seed_scatter(ds, 100));
     assert_eq!(
+        // digg-lint: allow(no-lib-unwrap) — bit-identity harness: a serialization failure is itself a baseline failure worth a loud stop
         serde_json::to_string(&new_sc).unwrap(),
+        // digg-lint: allow(no-lib-unwrap) — bit-identity harness: a serialization failure is itself a baseline failure worth a loud stop
         serde_json::to_string(&seed_sc).unwrap(),
         "scatter diverged from seed"
     );
@@ -195,7 +191,9 @@ pub fn compare(synthesis: &Synthesis) -> Vec<BaselineRecord> {
     let (single_it, it_single_ms) = time(|| intext::run_with(synthesis, PROMOTION_THRESHOLD, 1));
     let (_, it_seed_ms) = time(|| intext::run_with(synthesis, PROMOTION_THRESHOLD, 1));
     assert_eq!(
+        // digg-lint: allow(no-lib-unwrap) — bit-identity harness: a serialization failure is itself a baseline failure worth a loud stop
         serde_json::to_string(&new_it).unwrap(),
+        // digg-lint: allow(no-lib-unwrap) — bit-identity harness: a serialization failure is itself a baseline failure worth a loud stop
         serde_json::to_string(&single_it).unwrap(),
         "intext diverged across thread counts"
     );

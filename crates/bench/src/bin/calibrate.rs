@@ -19,7 +19,7 @@ fn main() {
     let pop = scenario::june2006_population(seed ^ 0x9E37);
     let mut sim = Sim::new(cfg, pop);
 
-    let t0 = std::time::Instant::now();
+    let t0 = digg_bench::timing::stopwatch();
     sim.run(days * DAY);
     eprintln!("simulated {days} days in {:.1?}", t0.elapsed());
 
@@ -73,7 +73,7 @@ fn main() {
         return;
     }
     let mut finals: Vec<f64> = mature.iter().map(|s| s.vote_count() as f64).collect();
-    finals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    finals.sort_by(f64::total_cmp);
     let pct = |q: f64| finals[((finals.len() - 1) as f64 * q) as usize];
     println!(
         "final votes: min {} p10 {} p25 {} p50 {} p75 {} p90 {} max {}",
@@ -116,7 +116,7 @@ fn main() {
         }
     }
     let med = |v: &mut Vec<f64>| {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         if v.is_empty() {
             f64::NAN
         } else {

@@ -24,6 +24,7 @@
 //! the batch completes.
 
 use crate::registry::{record_degradation, Artifact};
+use crate::timing::time_ms;
 use digg_core::features::{FanCoverage, INTERESTINGNESS_THRESHOLD};
 use digg_core::pipeline::{run_pipeline_with_coverage, PipelineConfig};
 use digg_data::faults::FaultPlan;
@@ -33,7 +34,6 @@ use digg_data::DiggDataset;
 use digg_sim::scenario::PROMOTION_THRESHOLD;
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
 /// The injected fault rates, one sweep cell each. Rate 0 pins the
 /// clean baseline inside the same machinery.
@@ -104,12 +104,6 @@ pub struct DegradationSweepPayload {
     pub poison_isolated: bool,
     /// Re-running a degraded cell reproduced its row bit for bit.
     pub reproducible: bool,
-}
-
-fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
-    let out = f();
-    (out, t0.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Interestingness threshold for the sweep, chosen from the *clean*
@@ -211,6 +205,7 @@ pub fn sweep_cells(
         // dropped with the unwind; only the RateCell value escapes.
         let guarded = catch_unwind(AssertUnwindSafe(|| match cell {
             Some(rate) => degrade_cell(synthesis, rate, seed),
+            // digg-lint: allow(no-lib-unwrap) — deliberate: the fault-injection poison cell panics on purpose to exercise isolation
             None => panic!("{POISON_MESSAGE}"),
         }));
         match guarded {
@@ -220,6 +215,7 @@ pub fn sweep_cells(
     });
     match outcomes {
         Ok(outcomes) => outcomes,
+        // digg-lint: allow(no-lib-unwrap) — re-raise of an aggregated WorkerPanic: a panic outside the guarded cell is a harness bug
         Err(e) => panic!("degradation sweep worker panicked outside its cell: {e}"),
     }
 }

@@ -42,6 +42,7 @@ pub mod degradation;
 pub mod registry;
 pub mod scale;
 pub mod sweeps;
+pub mod timing;
 
 use digg_data::synth::{synthesize, SynthConfig, Synthesis};
 use std::io::Write;
@@ -69,7 +70,7 @@ pub fn shared_synthesis() -> &'static Synthesis {
     CELL.get_or_init(|| {
         let seed = seed_from_env();
         eprintln!("[digg-bench] synthesizing June-2006 dataset (seed {seed})…");
-        let t0 = std::time::Instant::now();
+        let t0 = timing::stopwatch();
         let out = synthesize(&SynthConfig::june2006(seed));
         eprintln!(
             "[digg-bench] synthesis done in {:.1?}: {} fp / {} upcoming stories, {} users",

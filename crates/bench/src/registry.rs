@@ -9,6 +9,7 @@
 //! stories/sec per experiment (plus any seed-baseline comparisons from
 //! [`crate::baseline`]) into `bench_summary.json`.
 
+use crate::timing::stopwatch;
 use crate::{emit, seed_from_env, shared_synthesis};
 use digg_core::experiments::{decay, fig1, fig2, fig3, fig4, fig5, intext, prediction, scatter};
 use digg_core::features::INTERESTINGNESS_THRESHOLD;
@@ -18,8 +19,7 @@ use digg_data::synth::Synthesis;
 use digg_ml::c45::C45Params;
 use digg_sim::scenario::PROMOTION_THRESHOLD;
 use serde::{Serialize, Value};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// One emitted result: the rendering that goes to stdout/`<name>.txt`
 /// and the serialized payload that goes to `<name>.json`.
@@ -131,20 +131,28 @@ static BASELINES: Mutex<Vec<crate::baseline::BaselineRecord>> = Mutex::new(Vec::
 static SCALE: Mutex<Vec<ScaleRecord>> = Mutex::new(Vec::new());
 static DEGRADATION: Mutex<Vec<crate::degradation::DegradationRecord>> = Mutex::new(Vec::new());
 
+/// Lock one of the summary accumulators, recovering from poisoning:
+/// the rows are append-only `Vec`s, so a panic mid-`extend` at worst
+/// loses that panicking run's rows — the summary of every *other* run
+/// is still worth writing.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Store seed-baseline comparison rows for the next
 /// [`write_bench_summary`].
 pub fn record_baselines(rows: Vec<crate::baseline::BaselineRecord>) {
-    BASELINES.lock().unwrap().extend(rows);
+    lock(&BASELINES).extend(rows);
 }
 
 /// Store scale-trajectory rows for the next [`write_bench_summary`].
 pub fn record_scale(rows: Vec<ScaleRecord>) {
-    SCALE.lock().unwrap().extend(rows);
+    lock(&SCALE).extend(rows);
 }
 
 /// Store predictor-decay rows for the next [`write_bench_summary`].
 pub fn record_degradation(rows: Vec<crate::degradation::DegradationRecord>) {
-    DEGRADATION.lock().unwrap().extend(rows);
+    lock(&DEGRADATION).extend(rows);
 }
 
 fn fp(s: &Synthesis) -> usize {
@@ -383,7 +391,7 @@ pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
 /// The shared synthesis is built lazily: standalone experiments (and
 /// `--list`, which never gets here) do not trigger it.
 pub fn run_spec(spec: &ExperimentSpec) -> bool {
-    let t0 = Instant::now();
+    let t0 = stopwatch();
     let (artifacts, stories, unit) = match spec.runner {
         Runner::Synth { stories, run } => {
             let synthesis = shared_synthesis();
@@ -395,7 +403,7 @@ pub fn run_spec(spec: &ExperimentSpec) -> bool {
         }
     };
     let wall = t0.elapsed();
-    RUNS.lock().unwrap().push(RunRecord {
+    lock(&RUNS).push(RunRecord {
         experiment: spec.name.to_string(),
         wall_ms: wall.as_secs_f64() * 1e3,
         stories,
@@ -432,10 +440,10 @@ pub fn write_bench_summary() {
     let summary = BenchSummary {
         seed: seed_from_env(),
         threads: digg_core::worker_threads(),
-        runs: RUNS.lock().unwrap().clone(),
-        baseline: BASELINES.lock().unwrap().clone(),
-        scale: SCALE.lock().unwrap().clone(),
-        degradation: DEGRADATION.lock().unwrap().clone(),
+        runs: lock(&RUNS).clone(),
+        baseline: lock(&BASELINES).clone(),
+        scale: lock(&SCALE).clone(),
+        degradation: lock(&DEGRADATION).clone(),
     };
     let dir = std::env::var("DIGG_RESULTS_DIR").unwrap_or_else(|_| ".".to_string());
     let path = std::path::Path::new(&dir).join("bench_summary.json");
@@ -455,7 +463,13 @@ pub fn write_bench_summary() {
 /// shared synthesis, write the bench summary, and exit non-zero when
 /// an artifact fails its checks (e.g. intext violations).
 pub fn main_for(name: &str) {
-    let spec = find(name).unwrap_or_else(|| panic!("unknown experiment {name:?}"));
+    let Some(spec) = find(name) else {
+        eprintln!("unknown experiment {name:?}; known experiments:");
+        for s in REGISTRY {
+            eprintln!("  {}", s.name);
+        }
+        std::process::exit(2);
+    };
     let ok = run_spec(spec);
     write_bench_summary();
     if !ok {

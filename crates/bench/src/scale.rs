@@ -25,11 +25,11 @@
 
 use crate::baseline::BaselineRecord;
 use crate::registry::{record_baselines, record_scale, Artifact, ScaleRecord};
+use crate::timing::time_ms;
 use des_core::StreamRng;
 use digg_core::worker_threads;
 use rand::Rng;
 use social_graph::{GraphBuilder, SocialGraph, UserId};
-use std::time::Instant;
 
 /// Stream salts for the deterministic workload generators.
 const EDGE_STREAM: u64 = 0x0053_4341_4c45_5f45; // "SCALE_E"
@@ -91,12 +91,6 @@ pub struct GraphScalePayload {
     pub in_network_votes: u64,
     /// Total final influence across the sweep batch (checksum).
     pub final_influence: u64,
-}
-
-fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
-    let out = f();
-    (out, t0.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Deterministic raw edge list: per-row skip-sampling on `StreamRng`
@@ -177,6 +171,7 @@ fn sweep_totals(graph: &SocialGraph, stories: &[Vec<UserId>], threads: usize) ->
             s.influence_after(voters.len()) as u64,
         )
     })
+    // digg-lint: allow(no-lib-unwrap) — re-raise of an aggregated WorkerPanic; scale rows have no partial-result mode
     .unwrap_or_else(|e| panic!("graph_scale sweep worker panicked: {e}"));
     per_story
         .into_iter()
@@ -210,7 +205,7 @@ pub fn run_graph_scale(seed: u64) -> (Vec<Artifact>, usize) {
             .iter()
             .enumerate()
             .max_by_key(|&(i, &f)| (f, std::cmp::Reverse(i)))
-            .map(|(i, &f)| (i as u32, f as usize))
+            .map(|(i, &f)| (social_graph::UserId::from_index(i).0, f as usize))
             .unwrap_or((0, 0));
         let mean = graph.edge_count() as f64 / graph.user_count().max(1) as f64;
         (max, top, mean)

@@ -27,6 +27,7 @@
 
 use crate::baseline::BaselineRecord;
 use crate::registry::{record_baselines, Artifact};
+use crate::timing::time_ms;
 use digg_epidemics::{cascade_model, des};
 use digg_sim::baseline::TickSim;
 use digg_sim::population::{Population, PopulationConfig};
@@ -37,13 +38,6 @@ use rand::SeedableRng;
 use serde::Serialize;
 use social_graph::generators::{erdos_renyi, modular};
 use social_graph::{GraphBuilder, SocialGraph, UserId};
-use std::time::Instant;
-
-fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
-    let out = f();
-    (out, t0.elapsed().as_secs_f64() * 1e3)
-}
 
 // ------------------------------------------------------------ sim_sweep
 
@@ -139,6 +133,7 @@ pub fn sim_sweep_payload(seed: u64, threads: usize) -> SimSweepPayload {
     // own grid slot, reported in `panicked`, not the whole experiment.
     let outcomes = match try_run_sweep(&sim_sweep_specs(), &seeds, threads) {
         Ok(outcomes) => outcomes,
+        // digg-lint: allow(no-lib-unwrap) — re-raise of an aggregated WorkerPanic: a panic outside the guarded cell is a harness bug
         Err(e) => panic!("sim_sweep worker panicked outside its cell: {e}"),
     };
     let mut runs = Vec::new();

@@ -60,13 +60,23 @@ pub fn run_a(ds: &DiggDataset, bins: usize, max: f64) -> Fig2aResult {
         stories: finals.len(),
         below_500: fraction_below(&finals, 500.0),
         above_1500: fraction_above(&finals, 1500.0),
-        max_votes: finals.iter().cloned().fold(0.0, f64::max) as u32,
+        // Max over the original integer counts — no float round-trip.
+        max_votes: ds
+            .front_page
+            .iter()
+            .filter_map(|r| r.final_votes)
+            .max()
+            .unwrap_or(0),
     }
 }
 
 /// Per-user `(submissions, votes)` tallies, accumulated across worker
 /// threads. Counter addition commutes, so the merged tallies are
-/// thread-count independent by construction.
+/// thread-count independent by construction. HashMap is safe here
+/// (determinism audit, DESIGN.md §13): everything that reaches the
+/// serialized artifact flows through [`integer_counts`], which
+/// re-sorts into a `BTreeMap`, or through order-independent integer
+/// max/count reductions.
 type Activity = (HashMap<u32, u64>, HashMap<u32, u64>);
 
 /// Fan per-story activity counting out over `threads` workers, with
@@ -277,5 +287,23 @@ mod tests {
         let text = run_b(&ds()).render();
         assert!(text.contains("Fig 2b"));
         assert!(text.contains("single-vote users"));
+    }
+
+    #[test]
+    fn fig2b_artifact_bytes_are_run_and_thread_invariant() {
+        // Determinism audit regression (DESIGN.md §13): the per-user
+        // tallies accumulate in HashMaps, whose iteration order
+        // differs per instance. The serialized artifact must not —
+        // every run, at any thread count, must produce identical
+        // bytes.
+        let dataset = ds();
+        let reference = serde_json::to_string(&run_b_with(&dataset, 1)).expect("serializable");
+        for threads in [1, 2, 7] {
+            for _ in 0..3 {
+                let bytes =
+                    serde_json::to_string(&run_b_with(&dataset, threads)).expect("serializable");
+                assert_eq!(bytes, reference, "threads={threads}");
+            }
+        }
     }
 }

@@ -88,6 +88,9 @@ pub fn run_with(synthesis: &Synthesis, promotion_threshold: usize, threads: usiz
 
     // Top-1000 concentration: submissions on the front page by the
     // top-1000 ranked users, share held by the top 3% (top 30).
+    // HashMap is safe here (determinism audit, DESIGN.md §13): it is
+    // only probed by key in `top_users` rank order; the integer sums
+    // below are iteration-order independent.
     let mut sub_counts: std::collections::HashMap<u32, usize> = Default::default();
     for r in &ds.front_page {
         sub_counts

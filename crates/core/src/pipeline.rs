@@ -212,6 +212,7 @@ pub fn run_pipeline_with_coverage(
     let mut sweeper = crate::story_metrics::StorySweeper::new(&ds.network);
     for row in &holdout {
         let r = row.record;
+        // digg-lint: allow(no-lib-unwrap) — invariant: the holdout was filtered to augmented records three lines up
         let actual = r.is_interesting(cfg.threshold).expect("filtered augmented");
         let Some(f) = StoryFeatures::extract_with(&mut sweeper, r, &ds.network) else {
             holdout_unextractable += 1;

@@ -164,7 +164,7 @@ impl StorySweep {
 // `DIGG_THREADS` is parsed in exactly one place: des-core.
 pub use des_core::par::{
     chunk_size, panic_message, par_fold, par_join, par_map, try_par_join, try_par_map,
-    worker_threads, PanicShard, WorkerPanic,
+    try_par_map_with, worker_threads, PanicShard, WorkerPanic,
 };
 
 /// Fallible [`sweep_map`]: identical chunking, per-thread sweepers and
@@ -173,6 +173,11 @@ pub use des_core::par::{
 /// back aggregated as one [`WorkerPanic`] naming each failed shard's
 /// item range. With no panic the result is bit-identical to
 /// [`sweep_map`] at any thread count.
+///
+/// This is [`try_par_map_with`] with a per-worker [`StorySweeper`]:
+/// the sweeper is epoch-stamped scratch, so reusing it across a
+/// shard's stories cannot leak state between items — the precondition
+/// that keeps `try_par_map_with` thread-count invariant.
 pub fn try_sweep_map<T, R, F>(
     graph: &SocialGraph,
     items: &[T],
@@ -184,56 +189,7 @@ where
     R: Send,
     F: Fn(&mut StorySweeper, &T) -> R + Sync,
 {
-    use std::panic::{catch_unwind, AssertUnwindSafe};
-    // `AssertUnwindSafe` is sound for the same reason as in
-    // `des_core::par::run_shard`: a panicking shard's sweeper and
-    // partial output are dropped during the unwind and never observed.
-    let run_shard = |part: &[T]| -> Result<Vec<R>, String> {
-        catch_unwind(AssertUnwindSafe(|| {
-            let mut sweeper = StorySweeper::new(graph);
-            part.iter().map(|t| f(&mut sweeper, t)).collect::<Vec<R>>()
-        }))
-        .map_err(|p| panic_message(p.as_ref()))
-    };
-    let chunk = chunk_size(items.len(), threads);
-    if chunk >= items.len() {
-        return run_shard(items).map_err(|message| WorkerPanic {
-            shards: 1,
-            failed: vec![PanicShard {
-                shard: 0,
-                start: 0,
-                len: items.len(),
-                message,
-            }],
-        });
-    }
-    std::thread::scope(|scope| {
-        let run_shard = &run_shard;
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || run_shard(part)))
-            .collect();
-        let shards = handles.len();
-        let mut out = Vec::with_capacity(items.len());
-        let mut failed = Vec::new();
-        for (i, h) in handles.into_iter().enumerate() {
-            let res = h.join().unwrap_or_else(|p| Err(panic_message(p.as_ref())));
-            match res {
-                Ok(part) => out.extend(part),
-                Err(message) => failed.push(PanicShard {
-                    shard: i,
-                    start: i * chunk,
-                    len: chunk.min(items.len() - i * chunk),
-                    message,
-                }),
-            }
-        }
-        if failed.is_empty() {
-            Ok(out)
-        } else {
-            Err(WorkerPanic { shards, failed })
-        }
-    })
+    try_par_map_with(items, threads, || StorySweeper::new(graph), f)
 }
 
 /// [`par_map`] handing each worker thread its own [`StorySweeper`]
@@ -251,6 +207,7 @@ where
 {
     match try_sweep_map(graph, items, threads, f) {
         Ok(out) => out,
+        // digg-lint: allow(no-lib-unwrap) — infallible-layer contract: re-raise the aggregated WorkerPanic for fail-fast callers
         Err(e) => panic!("worker thread panicked: {e}"),
     }
 }

@@ -115,15 +115,23 @@ pub fn panic_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
-/// Run one shard under `catch_unwind`.
+/// Run one shard under `catch_unwind`, building the shard's worker
+/// state with `init` first.
 ///
-/// `AssertUnwindSafe` is sound here because a panicking shard's output
-/// vector is dropped during the unwind and never observed, and the
-/// fan-out as a whole returns `Err` — callers never see state from a
-/// shard that did not complete.
-fn run_shard<T, R>(part: &[T], f: &(impl Fn(&T) -> R + Sync)) -> Result<Vec<R>, String> {
-    catch_unwind(AssertUnwindSafe(|| part.iter().map(f).collect()))
-        .map_err(|p| panic_message(p.as_ref()))
+/// `AssertUnwindSafe` is sound here because a panicking shard's state
+/// and output vector are dropped during the unwind and never observed,
+/// and the fan-out as a whole returns `Err` — callers never see state
+/// from a shard that did not complete.
+fn run_shard<S, T, R>(
+    part: &[T],
+    init: &(impl Fn() -> S + Sync),
+    f: &(impl Fn(&mut S, &T) -> R + Sync),
+) -> Result<Vec<R>, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut state = init();
+        part.iter().map(|t| f(&mut state, t)).collect()
+    }))
+    .map_err(|p| panic_message(p.as_ref()))
 }
 
 /// Fallible [`par_map`]: identical chunking and output order, but a
@@ -139,9 +147,31 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    try_par_map_with(items, threads, || (), |(), t| f(t))
+}
+
+/// [`try_par_map`] with per-worker state: each shard calls `init`
+/// once on its own thread and threads the state through its items in
+/// order. Because shard boundaries depend only on `(items.len(),
+/// threads)` and outputs are concatenated in chunk order, results are
+/// bit-identical at any thread count *provided* `f`'s output does not
+/// depend on the state's history — the intended use is reusable
+/// scratch (e.g. `digg_core::StorySweeper`), not accumulators.
+pub fn try_par_map_with<S, T, R, I, F>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let chunk = chunk_size(items.len(), threads);
     if chunk >= items.len() {
-        return run_shard(items, &f).map_err(|message| WorkerPanic {
+        return run_shard(items, &init, &f).map_err(|message| WorkerPanic {
             shards: 1,
             failed: vec![PanicShard {
                 shard: 0,
@@ -153,9 +183,10 @@ where
     }
     std::thread::scope(|scope| {
         let f = &f;
+        let init = &init;
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|part| scope.spawn(move || run_shard(part, f)))
+            .map(|part| scope.spawn(move || run_shard(part, init, f)))
             .collect();
         let shards = handles.len();
         let mut out = Vec::with_capacity(items.len());
@@ -197,6 +228,7 @@ where
 {
     match try_par_map(items, threads, f) {
         Ok(out) => out,
+        // digg-lint: allow(no-lib-unwrap) — infallible-layer contract: re-raise the aggregated WorkerPanic for fail-fast callers
         Err(e) => panic!("worker thread panicked: {e}"),
     }
 }
@@ -244,6 +276,7 @@ where
             .collect();
         let mut out = make();
         for h in handles {
+            // digg-lint: allow(no-lib-unwrap) — fold has no fallible layer: a worker panic propagates fail-fast by design
             merge(&mut out, h.join().expect("worker thread panicked"));
         }
         out
@@ -269,6 +302,7 @@ where
 {
     match try_par_join(tasks) {
         Ok(out) => out,
+        // digg-lint: allow(no-lib-unwrap) — infallible-layer contract: re-raise the aggregated WorkerPanic for fail-fast callers
         Err(e) => panic!("worker thread panicked: {e}"),
     }
 }
@@ -380,6 +414,33 @@ mod tests {
         let serial: Vec<u64> = items.iter().map(|x| x * 3).collect();
         for threads in [1, 2, 8] {
             assert_eq!(try_par_map(&items, threads, |x| x * 3), Ok(serial.clone()));
+        }
+    }
+
+    #[test]
+    fn try_par_map_with_builds_state_per_shard_and_keeps_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..57).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x + 1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let inits = AtomicUsize::new(0);
+            let out = try_par_map_with(
+                &items,
+                threads,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64 // per-worker scratch: items seen in this shard
+                },
+                |seen, x| {
+                    *seen += 1;
+                    x + 1000
+                },
+            );
+            assert_eq!(out, Ok(serial.clone()));
+            // One state per shard, at most one shard per thread, at
+            // least one shard total.
+            let n = inits.load(Ordering::Relaxed);
+            assert!(n >= 1 && n <= threads, "threads={threads} inits={n}");
         }
     }
 

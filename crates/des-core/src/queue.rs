@@ -44,6 +44,9 @@ struct LiveEvent<T> {
 /// `T`. See the module docs for the ordering contract.
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<(u64, u8, u64, EventId)>>,
+    /// HashMap is safe here (determinism audit, DESIGN.md §13): it is
+    /// only ever keyed lookups/removals driven by the heap's total
+    /// order — nothing iterates it.
     live: HashMap<u64, LiveEvent<T>>,
     next_id: u64,
     next_seq: u64,
@@ -124,6 +127,7 @@ impl<T> EventQueue<T> {
         let e = self
             .live
             .remove(&id.0)
+            // digg-lint: allow(no-lib-unwrap) — heap/live-map coherence invariant: skim_tombstones just dropped every dead head
             .expect("skim_tombstones left a live head");
         Some(Event {
             time,

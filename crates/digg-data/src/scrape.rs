@@ -103,7 +103,14 @@ pub fn scrape_stories(sim: &Sim, cfg: &ScrapeConfig) -> (Vec<StoryRecord>, Vec<S
 /// paper's February-2008 augmentation pass.
 pub fn augment_final_votes(sim: &Sim, records: &mut [StoryRecord]) {
     for r in records {
-        r.final_votes = Some(sim.story(r.story).vote_count() as u32);
+        // Saturating, not truncating: a count beyond u32::MAX (never
+        // reachable with a u32-id population) pins instead of wrapping.
+        r.final_votes = Some(
+            sim.story(r.story)
+                .vote_count()
+                .try_into()
+                .unwrap_or(u32::MAX),
+        );
     }
 }
 

@@ -80,7 +80,9 @@ pub fn validate(ds: &DiggDataset, threshold: usize) -> Vec<Violation> {
         }
         // Report *every* duplicated voter on the story (not just the
         // first), each once, with its occurrence count — in first-seen
-        // order so output is deterministic.
+        // order so output is deterministic. HashMap is safe here
+        // (determinism audit, DESIGN.md §13): the `order` Vec carries
+        // the output order; `counts` is keyed lookups only.
         let mut counts: HashMap<social_graph::UserId, usize> = HashMap::new();
         let mut order = Vec::new();
         for &v in &r.voters {

@@ -22,9 +22,14 @@ pub fn modularity(graph: &SocialGraph, labels: &[u32]) -> f64 {
     if m == 0.0 {
         return 0.0;
     }
-    use std::collections::HashMap;
-    let mut intra: HashMap<u32, f64> = HashMap::new();
-    let mut degree: HashMap<u32, f64> = HashMap::new();
+    // BTreeMap, not HashMap: the final loop *sums floats in map
+    // iteration order*, and float addition does not commute in
+    // rounding. A HashMap here made the last bits of `Q` depend on
+    // `RandomState`'s per-process seed — the one class of bug this
+    // crate's determinism contract (DESIGN.md §13) exists to prevent.
+    use std::collections::BTreeMap;
+    let mut intra: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut degree: BTreeMap<u32, f64> = BTreeMap::new();
     for (a, b) in graph.edges() {
         let la = labels[a.index()];
         let lb = labels[b.index()];
@@ -53,7 +58,8 @@ pub fn label_propagation<R: Rng + ?Sized>(
     max_rounds: usize,
 ) -> Vec<u32> {
     let n = graph.user_count();
-    let mut labels: Vec<u32> = (0..n as u32).collect();
+    // Route the index→u32 conversion through the checked id helper.
+    let mut labels: Vec<u32> = (0..n).map(|i| UserId::from_index(i).0).collect();
     let mut order: Vec<usize> = (0..n).collect();
     for round in 0..max_rounds {
         // Fisher-Yates with the caller's RNG.
@@ -68,14 +74,14 @@ pub fn label_propagation<R: Rng + ?Sized>(
             for &v in graph.friends(uid).iter().chain(graph.fans(uid)) {
                 *counts.entry(labels[v.index()]).or_insert(0) += 1;
             }
-            if counts.is_empty() {
-                continue;
-            }
-            let best = counts
+            // Isolated node (no neighbours): keeps its label.
+            let Some(best) = counts
                 .iter()
                 .max_by_key(|&(label, count)| (*count, std::cmp::Reverse(*label)))
                 .map(|(&l, _)| l)
-                .expect("nonempty counts");
+            else {
+                continue;
+            };
             if best != labels[u] {
                 labels[u] = best;
                 changed = true;
@@ -175,5 +181,18 @@ mod tests {
     fn empty_graph_modularity_zero() {
         let g = GraphBuilder::new(3).build();
         assert_eq!(modularity(&g, &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn modularity_is_bit_stable_across_evaluations() {
+        // Regression: Q was summed in HashMap iteration order, so its
+        // low bits depended on RandomState's per-instance seed. With
+        // sorted accumulators two evaluations must agree exactly.
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = modular(&mut rng, 120, 4, 0.25, 0.01);
+        let labels: Vec<u32> = (0..120).map(|u| community_of(u, 120, 4) as u32).collect();
+        let q1 = modularity(&g, &labels);
+        let q2 = modularity(&g, &labels);
+        assert_eq!(q1.to_bits(), q2.to_bits());
     }
 }

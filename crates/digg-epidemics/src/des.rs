@@ -389,6 +389,7 @@ pub fn cascade(
             }
             let sources = graph.friends(w).len();
             if count[w.index()] as f64 / sources as f64 >= phi {
+                // digg-lint: allow(no-truncating-cast) — e.time < max_steps: u32 by the schedule guard below
                 activated_at[w.index()] = Some(e.time as u32);
                 if e.time < max_steps {
                     for &f in graph.fans(w) {

@@ -1,0 +1,188 @@
+//! `digg-lint` — the workspace determinism-and-robustness linter.
+//!
+//! Every result this reproduction ships rests on an unwritten
+//! contract: all randomness flows through `des_core::StreamRng`,
+//! payloads are bit-identical at any `DIGG_THREADS`, artifacts never
+//! depend on wall-clock or hash-iteration order, and library code
+//! reports failures as typed errors instead of panicking. This crate
+//! makes that contract *written and enforced*: a self-contained
+//! static-analysis pass (own comment/string-aware lexer, line-level
+//! rule engine, zero dependencies) that CI runs on every push.
+//!
+//! The rules — see [`rules`] for the ids and DESIGN.md §13 for the
+//! invariant each one guards:
+//!
+//! | rule | guards |
+//! |------|--------|
+//! | `no-wallclock` | artifacts independent of real time |
+//! | `no-ambient-rng` | all randomness keyed by `(seed, stream)` |
+//! | `no-lib-unwrap` | library failures are typed, not panics |
+//! | `no-unordered-serialize` | serialized bytes independent of hash order |
+//! | `no-truncating-cast` | ids/counts never silently truncated |
+//! | `raw-thread-fanout` | all fan-out through `des_core::par` |
+//!
+//! Suppression is only possible inline:
+//!
+//! ```text
+//! // digg-lint: allow(no-lib-unwrap) — reason the invariant holds
+//! ```
+//!
+//! and an allow that suppresses nothing is itself an error, so the
+//! exemption ledger can only shrink. Run with
+//! `cargo run -p digg-lint -- --workspace` (add `--json` for the
+//! machine-readable report).
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use rules::{Scope, Violation};
+use std::path::Path;
+
+/// Linter configuration: the explicit allowlists the rule definitions
+/// reference. Paths are workspace-relative suffix matches.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Modules allowed to read the wall clock (bench timing only).
+    pub wallclock_allow: Vec<String>,
+    /// Modules allowed raw `std::thread` fan-out (the deterministic
+    /// primitives themselves).
+    pub fanout_allow: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            wallclock_allow: vec!["crates/bench/src/timing.rs".to_string()],
+            fanout_allow: vec!["crates/des-core/src/par.rs".to_string()],
+        }
+    }
+}
+
+impl Config {
+    fn scope_for(&self, rel: &str) -> Scope {
+        Scope {
+            kind: walk::classify(rel),
+            wallclock_exempt: self.wallclock_allow.iter().any(|p| rel.ends_with(p)),
+            fanout_exempt: self.fanout_allow.iter().any(|p| rel.ends_with(p)),
+        }
+    }
+}
+
+/// Lint result for one file.
+#[derive(Debug, Clone)]
+pub struct FileReport {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Surviving violations (pragmas already applied), in line order.
+    pub violations: Vec<Violation>,
+    /// Allow pragmas that suppressed at least one violation.
+    pub allows_honoured: usize,
+}
+
+/// Lint one file's source text (the unit the fixture tests drive).
+pub fn lint_source(rel_path: &str, src: &str, config: &Config) -> FileReport {
+    let map = lexer::lex(src);
+    let raw: Vec<&str> = src.split('\n').collect();
+    let scope = config.scope_for(rel_path);
+    let raw_violations = rules::check(&map, scope, &raw);
+    let (allows, mut malformed) = pragma::parse(&map, &raw);
+    let mut violations = pragma::apply(&map, &raw, raw_violations, &allows);
+    let unused = violations
+        .iter()
+        .filter(|v| v.rule == rules::UNUSED_ALLOW)
+        .count();
+    violations.append(&mut malformed);
+    violations.sort_by_key(|v| v.line);
+    FileReport {
+        path: rel_path.to_string(),
+        violations,
+        allows_honoured: allows.len().saturating_sub(unused),
+    }
+}
+
+/// Outcome of a workspace lint.
+#[derive(Debug, Clone)]
+pub struct WorkspaceReport {
+    /// Per-file reports that contain at least one violation.
+    pub dirty: Vec<FileReport>,
+    /// Total files scanned.
+    pub files_scanned: usize,
+    /// Total allow pragmas honoured across the tree.
+    pub allows_honoured: usize,
+}
+
+impl WorkspaceReport {
+    pub fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    pub fn violation_count(&self) -> usize {
+        self.dirty.iter().map(|f| f.violations.len()).sum()
+    }
+}
+
+/// Lint every workspace source under `root`.
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<WorkspaceReport> {
+    let files = walk::workspace_files(root)?;
+    let mut dirty = Vec::new();
+    let mut allows = 0usize;
+    let files_scanned = files.len();
+    for rel in &files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let fr = lint_source(&rel_str, &src, config);
+        allows += fr.allows_honoured;
+        if !fr.violations.is_empty() {
+            dirty.push(fr);
+        }
+    }
+    Ok(WorkspaceReport {
+        dirty,
+        files_scanned,
+        allows_honoured: allows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_is_clean() {
+        let fr = lint_source(
+            "crates/x/src/lib.rs",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+            &Config::default(),
+        );
+        assert!(fr.violations.is_empty());
+    }
+
+    #[test]
+    fn timing_module_is_wallclock_exempt_by_default() {
+        let src = "pub fn t() { let _ = std::time::Instant::now(); }";
+        let fr = lint_source("crates/bench/src/timing.rs", src, &Config::default());
+        assert!(fr.violations.is_empty());
+        let fr = lint_source("crates/bench/src/lib.rs", src, &Config::default());
+        assert_eq!(fr.violations.len(), 1);
+    }
+
+    #[test]
+    fn des_core_par_is_fanout_exempt_by_default() {
+        let src = "pub fn f() { std::thread::scope(|_s| {}); }";
+        let fr = lint_source("crates/des-core/src/par.rs", src, &Config::default());
+        assert!(fr.violations.is_empty());
+        let fr = lint_source("crates/core/src/story_metrics.rs", src, &Config::default());
+        assert_eq!(fr.violations.len(), 1);
+    }
+
+    #[test]
+    fn allows_honoured_are_counted() {
+        let src = "fn f() { x.unwrap(); } // digg-lint: allow(no-lib-unwrap) — fixture\n";
+        let fr = lint_source("crates/x/src/lib.rs", src, &Config::default());
+        assert!(fr.violations.is_empty());
+        assert_eq!(fr.allows_honoured, 1);
+    }
+}

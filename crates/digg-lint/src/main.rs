@@ -1,0 +1,117 @@
+//! CLI: `digg-lint [--workspace] [--json] [--root DIR] [FILES…]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use digg_lint::{lint_source, lint_workspace, report, Config, FileReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        workspace: false,
+        json: false,
+        root: None,
+        files: Vec::new(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--workspace" => out.workspace = true,
+            "--json" => out.json = true,
+            "--root" => match argv.next() {
+                Some(dir) => out.root = Some(PathBuf::from(dir)),
+                None => return Err("--root requires a directory".to_string()),
+            },
+            "--help" | "-h" => {
+                return Err(
+                    "usage: digg-lint [--workspace] [--json] [--root DIR] [FILES…]".to_string(),
+                )
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            file => out.files.push(PathBuf::from(file)),
+        }
+    }
+    if !out.workspace && out.files.is_empty() {
+        out.workspace = true;
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("digg-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = Config::default();
+
+    let start = args
+        .root
+        .clone()
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let (reports, files_scanned, allows): (Vec<FileReport>, usize, usize) = if args.workspace {
+        let Some(root) = digg_lint::walk::workspace_root(&start) else {
+            eprintln!(
+                "digg-lint: no workspace Cargo.toml above {}",
+                start.display()
+            );
+            return ExitCode::from(2);
+        };
+        match lint_workspace(&root, &config) {
+            Ok(ws) => (ws.dirty, ws.files_scanned, ws.allows_honoured),
+            Err(e) => {
+                eprintln!("digg-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut reports = Vec::new();
+        let mut allows = 0usize;
+        for f in &args.files {
+            let rel = f.to_string_lossy().replace('\\', "/");
+            // Relative paths anchor at --root (when given) so rule
+            // scoping sees the same workspace-relative path CI does.
+            let on_disk = if f.is_absolute() {
+                f.clone()
+            } else {
+                start.join(f)
+            };
+            match std::fs::read_to_string(&on_disk) {
+                Ok(src) => {
+                    let fr = lint_source(&rel, &src, &config);
+                    allows += fr.allows_honoured;
+                    reports.push(fr);
+                }
+                Err(e) => {
+                    eprintln!("digg-lint: {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let n = reports.len();
+        (reports, n, allows)
+    };
+
+    let total: usize = reports.iter().map(|r| r.violations.len()).sum();
+    if args.json {
+        print!("{}", report::render_json(&reports, files_scanned, allows));
+    } else {
+        print!("{}", report::render_text(&reports, files_scanned, allows));
+    }
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

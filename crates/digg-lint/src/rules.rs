@@ -1,0 +1,275 @@
+//! The determinism-and-robustness rules.
+//!
+//! Every rule is line-level over the blanked code of a [`SourceMap`]
+//! (comments and string bodies can never match), scoped by file kind
+//! and by the `#[cfg(test)]` region map. DESIGN.md §13 names the
+//! workspace invariant each rule enforces.
+
+use crate::lexer::{has_token, SourceMap};
+use crate::walk::FileKind;
+
+/// Stable rule identifiers (the ids pragmas name).
+pub const NO_WALLCLOCK: &str = "no-wallclock";
+pub const NO_AMBIENT_RNG: &str = "no-ambient-rng";
+pub const NO_LIB_UNWRAP: &str = "no-lib-unwrap";
+pub const NO_UNORDERED_SERIALIZE: &str = "no-unordered-serialize";
+pub const NO_TRUNCATING_CAST: &str = "no-truncating-cast";
+pub const RAW_THREAD_FANOUT: &str = "raw-thread-fanout";
+/// Meta-rule: an `allow` pragma that suppressed nothing. Errors, so
+/// the pragma ledger can only shrink — dead exemptions never linger.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+/// Meta-rule: a pragma the engine cannot honour (unknown rule id,
+/// missing reason). Never suppressible.
+pub const MALFORMED_PRAGMA: &str = "malformed-pragma";
+
+/// The suppressible rules, in reporting order.
+pub const RULES: [&str; 6] = [
+    NO_WALLCLOCK,
+    NO_AMBIENT_RNG,
+    NO_LIB_UNWRAP,
+    NO_UNORDERED_SERIALIZE,
+    NO_TRUNCATING_CAST,
+    RAW_THREAD_FANOUT,
+];
+
+/// One-line description per rule (for `--explain` style output and
+/// the JSON report).
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        NO_WALLCLOCK => {
+            "wall-clock read (Instant::now/SystemTime) outside the allowlisted timing module; \
+             artifacts must not depend on real time"
+        }
+        NO_AMBIENT_RNG => {
+            "ambient randomness (thread_rng/from_entropy/rand::random/OsRng); all randomness \
+             must flow through des_core::StreamRng or a caller-seeded rng"
+        }
+        NO_LIB_UNWRAP => {
+            "panic path (unwrap/expect/panic!/unreachable!) in non-test library code; return a \
+             typed error or justify with a pragma"
+        }
+        NO_UNORDERED_SERIALIZE => {
+            "HashMap/HashSet field in a #[derive(Serialize)] item; serialized artifacts must \
+             use BTreeMap or a sorted Vec so bytes are iteration-order independent"
+        }
+        NO_TRUNCATING_CAST => {
+            "narrowing `as` cast to a <=32-bit integer; use try_into or a checked-id helper \
+             (UserId::from_index, StoryId::from_index, try_build)"
+        }
+        RAW_THREAD_FANOUT => {
+            "raw std::thread spawn/scope outside des_core::par; fan-out must go through the \
+             deterministic chunked primitives"
+        }
+        UNUSED_ALLOW => "digg-lint allow pragma that suppressed no violation",
+        MALFORMED_PRAGMA => "unparseable digg-lint pragma (unknown rule id or missing reason)",
+        _ => "unknown rule",
+    }
+}
+
+/// A single violation (pre-pragma-filtering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Per-file scope configuration resolved by the caller.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    pub kind: FileKind,
+    /// File is allowlisted for wall-clock reads (the bench timing
+    /// module).
+    pub wallclock_exempt: bool,
+    /// File is allowlisted for raw thread fan-out (`des_core::par`).
+    pub fanout_exempt: bool,
+}
+
+/// Run every rule over one lexed file. Returned violations are in
+/// line order; pragma filtering happens in [`crate::pragma`].
+pub fn check(map: &SourceMap, scope: Scope, raw_lines: &[&str]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, code) in map.code.iter().enumerate() {
+        let line = idx + 1;
+        let in_test = map.in_test.get(idx).copied().unwrap_or(false);
+        let snippet = || {
+            raw_lines
+                .get(idx)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default()
+        };
+        let mut push = |rule: &'static str| {
+            out.push(Violation {
+                rule,
+                line,
+                snippet: snippet(),
+            })
+        };
+
+        if !scope.wallclock_exempt
+            && (code.contains("Instant::now") || has_token(code, "SystemTime"))
+        {
+            push(NO_WALLCLOCK);
+        }
+
+        if has_token(code, "thread_rng")
+            || has_token(code, "from_entropy")
+            || has_token(code, "from_os_rng")
+            || has_token(code, "OsRng")
+            || code.contains("rand::random")
+        {
+            push(NO_AMBIENT_RNG);
+        }
+
+        if scope.kind == FileKind::Lib && !in_test {
+            let panicky = code.contains(".unwrap()")
+                || code.contains(".unwrap_err()")
+                || code.contains(".expect(")
+                || code.contains(".expect_err(")
+                || code.contains("panic!(")
+                || code.contains("unreachable!(")
+                || code.contains("todo!(")
+                || code.contains("unimplemented!(");
+            if panicky {
+                push(NO_LIB_UNWRAP);
+            }
+            if has_narrowing_cast(code) {
+                push(NO_TRUNCATING_CAST);
+            }
+        }
+
+        if map.in_serialize.get(idx).copied().unwrap_or(false)
+            && (has_token(code, "HashMap") || has_token(code, "HashSet"))
+        {
+            // A `#[serde(skip)]`-annotated field (attribute on the same
+            // or the preceding line) never reaches the serialized
+            // bytes, so its iteration order is unobservable.
+            let skipped = code.contains("serde(skip")
+                || idx
+                    .checked_sub(1)
+                    .and_then(|p| map.code.get(p))
+                    .is_some_and(|prev| prev.contains("serde(skip"));
+            if !skipped {
+                push(NO_UNORDERED_SERIALIZE);
+            }
+        }
+
+        if !scope.fanout_exempt
+            && (code.contains("thread::spawn")
+                || code.contains("thread::scope")
+                || code.contains("thread::Builder"))
+        {
+            push(RAW_THREAD_FANOUT);
+        }
+    }
+    out
+}
+
+/// `expr as u8|u16|u32|i8|i16|i32` — the id/count-truncating casts.
+/// Casts to `u64`/`usize` are exempt: ids are `u32`, so those widen on
+/// every supported target (`usize` is at least 32 bits here, and the
+/// CSR builders reject graphs that would overflow it).
+fn has_narrowing_cast(code: &str) -> bool {
+    const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+    let tokens: Vec<&str> = code
+        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty())
+        .collect();
+    tokens
+        .windows(2)
+        .any(|w| w[0] == "as" && NARROW.contains(&w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lib_scope() -> Scope {
+        Scope {
+            kind: FileKind::Lib,
+            wallclock_exempt: false,
+            fanout_exempt: false,
+        }
+    }
+
+    fn check_src(src: &str, scope: Scope) -> Vec<Violation> {
+        let map = lex(src);
+        let raw: Vec<&str> = src.split('\n').collect();
+        check(&map, scope, &raw)
+    }
+
+    #[test]
+    fn narrowing_casts_flag_only_narrow_targets() {
+        assert!(has_narrowing_cast("let x = n as u32;"));
+        assert!(has_narrowing_cast("powi(p as i32)"));
+        assert!(!has_narrowing_cast("let x = n as u64;"));
+        assert!(!has_narrowing_cast("let x = n as usize;"));
+        assert!(!has_narrowing_cast("let x = nas u32;"));
+    }
+
+    #[test]
+    fn unwrap_only_fires_in_lib_non_test() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t {\n    fn g() { y.unwrap(); }\n}";
+        let v = check_src(src, lib_scope());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        let bin = Scope {
+            kind: FileKind::Bin,
+            ..lib_scope()
+        };
+        assert!(check_src(src, bin).is_empty());
+    }
+
+    #[test]
+    fn wallclock_respects_exemption() {
+        let src = "let t0 = Instant::now();";
+        assert_eq!(check_src(src, lib_scope())[0].rule, NO_WALLCLOCK);
+        let exempt = Scope {
+            wallclock_exempt: true,
+            ..lib_scope()
+        };
+        assert!(check_src(src, exempt).is_empty());
+    }
+
+    #[test]
+    fn rng_in_string_or_comment_is_ignored() {
+        let src = "// thread_rng is banned\nlet s = \"thread_rng\";";
+        assert!(check_src(src, lib_scope()).is_empty());
+        assert_eq!(
+            check_src("let r = rand::thread_rng();", lib_scope())[0].rule,
+            NO_AMBIENT_RNG
+        );
+    }
+
+    #[test]
+    fn serialize_derive_with_hashmap_fires() {
+        let src = "#[derive(Serialize)]\nstruct S {\n    m: HashMap<u32, u32>,\n}";
+        let v = check_src(src, lib_scope());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, NO_UNORDERED_SERIALIZE);
+        let plain = "#[derive(Debug)]\nstruct S {\n    m: HashMap<u32, u32>,\n}";
+        assert!(check_src(plain, lib_scope()).is_empty());
+    }
+
+    #[test]
+    fn serde_skip_field_is_exempt() {
+        let src = "#[derive(Serialize)]\nstruct S {\n    #[serde(skip)]\n    m: HashSet<u32>,\n}";
+        assert!(check_src(src, lib_scope()).is_empty());
+        let inline = "#[derive(Serialize)]\nstruct S {\n    #[serde(skip)] m: HashSet<u32>,\n}";
+        assert!(check_src(inline, lib_scope()).is_empty());
+    }
+
+    #[test]
+    fn fanout_rule_and_exemption() {
+        let src = "std::thread::scope(|s| {});";
+        assert_eq!(check_src(src, lib_scope())[0].rule, RAW_THREAD_FANOUT);
+        let exempt = Scope {
+            fanout_exempt: true,
+            ..lib_scope()
+        };
+        assert!(check_src(src, exempt).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Workspace discovery: which `.rs` files get linted, and as what.
+
+use std::path::{Path, PathBuf};
+
+/// How a file participates in the rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source: every rule applies, including the panic and
+    /// narrowing-cast rules.
+    Lib,
+    /// Binary target (`src/bin/*`, `src/main.rs`): panic/cast rules
+    /// are waived (a CLI may exit via panic-free messages it owns),
+    /// the determinism rules still apply.
+    Bin,
+    /// Integration tests, benches, examples: determinism rules only.
+    TestOrBench,
+}
+
+/// Classify a path (workspace-relative, `/`-separated).
+pub fn classify(rel: &str) -> FileKind {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let has_dir = |d: &str| parts.contains(&d);
+    if has_dir("tests") || has_dir("benches") || has_dir("examples") {
+        return FileKind::TestOrBench;
+    }
+    if rel.ends_with("src/main.rs") || rel.contains("/src/bin/") {
+        return FileKind::Bin;
+    }
+    FileKind::Lib
+}
+
+/// Directories never linted: vendored third-party subsets, build
+/// output, and the linter's own rule fixtures (which are deliberate
+/// violations).
+fn skip_dir(rel: &str) -> bool {
+    rel == "vendor"
+        || rel == "target"
+        || rel.starts_with("vendor/")
+        || rel.starts_with("target/")
+        || rel.starts_with("crates/digg-lint/tests/fixtures")
+        || rel.split('/').any(|p| p.starts_with('.'))
+}
+
+/// Find the workspace root: ascend from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// All workspace `.rs` files under `root`, as sorted workspace-relative
+/// paths — sorted so reports and JSON output are byte-stable across
+/// filesystems and runs.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(root, Path::new(""), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    if skip_dir(&rel_str) {
+        return Ok(());
+    }
+    let abs = root.join(rel);
+    let mut entries: Vec<_> = std::fs::read_dir(&abs)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name())
+        .collect();
+    entries.sort();
+    for name in entries {
+        let child_rel = rel.join(&name);
+        let child_abs = root.join(&child_rel);
+        if child_abs.is_dir() {
+            collect(root, &child_rel, out)?;
+        } else if child_rel.extension().is_some_and(|e| e == "rs") {
+            out.push(child_rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/digg-sim/src/engine.rs"), FileKind::Lib);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/bench/src/bin/calibrate.rs"), FileKind::Bin);
+        assert_eq!(
+            classify("crates/core/tests/thread_invariance.rs"),
+            FileKind::TestOrBench
+        );
+        assert_eq!(
+            classify("crates/bench/benches/perf.rs"),
+            FileKind::TestOrBench
+        );
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::TestOrBench);
+    }
+
+    #[test]
+    fn skips_vendor_fixtures_and_dotdirs() {
+        assert!(skip_dir("vendor"));
+        assert!(skip_dir("vendor/serde"));
+        assert!(skip_dir("target/debug"));
+        assert!(skip_dir("crates/digg-lint/tests/fixtures"));
+        assert!(skip_dir(".git"));
+        assert!(!skip_dir("crates/digg-lint/tests"));
+        assert!(!skip_dir("crates"));
+    }
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = workspace_root(here).expect("workspace root not found");
+        assert!(root.join("crates/digg-lint").is_dir());
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: ambient (OS-seeded) randomness.
+
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.random_range(0..6)
+}
+
+pub fn seed_from_os() -> u64 {
+    rand::random()
+}

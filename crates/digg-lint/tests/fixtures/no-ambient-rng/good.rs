@@ -1,0 +1,9 @@
+//! Fixture: caller-seeded randomness only.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> u32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.random_range(0..6)
+}

@@ -1,0 +1,13 @@
+//! Fixture: panic paths in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller passed garbage")
+}
+
+pub fn later() {
+    todo!("not written yet")
+}

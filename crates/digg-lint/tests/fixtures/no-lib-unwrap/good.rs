@@ -1,0 +1,19 @@
+//! Fixture: the same APIs, panic-free — and unwraps inside
+//! `#[cfg(test)]` are out of scope by design.
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: id/count-truncating casts.
+
+pub fn to_id(i: usize) -> u32 {
+    i as u32
+}
+
+pub fn exponent(k: usize) -> f64 {
+    2.0f64.powi(k as i32)
+}

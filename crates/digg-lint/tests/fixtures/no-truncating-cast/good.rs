@@ -1,0 +1,14 @@
+//! Fixture: widening casts are exempt; narrowing goes through
+//! checked conversions.
+
+pub fn to_index(id: u32) -> usize {
+    id as usize
+}
+
+pub fn widen(id: u32) -> u64 {
+    u64::from(id)
+}
+
+pub fn to_id(i: usize) -> Option<u32> {
+    u32::try_from(i).ok()
+}

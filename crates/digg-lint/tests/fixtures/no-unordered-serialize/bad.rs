@@ -1,0 +1,10 @@
+//! Fixture: hash-ordered container reaching serialized bytes.
+
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Serialize)]
+pub struct Artifact {
+    pub per_user: HashMap<u32, u64>,
+    pub flagged: HashSet<u32>,
+}

@@ -1,0 +1,12 @@
+//! Fixture: time handled as plain data — no clock reads.
+//! The string and the comment below must not fire: Instant::now()
+//! only counts in code position.
+
+/// "Instant::now" in a string is inert.
+pub fn label() -> &'static str {
+    "Instant::now"
+}
+
+pub fn advance(now_minutes: u64, dt: u64) -> u64 {
+    now_minutes + dt
+}

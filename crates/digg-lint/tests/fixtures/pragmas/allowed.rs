@@ -1,0 +1,11 @@
+//! Fixture: both pragma placements — standalone line covering the
+//! next line, and trailing comment covering its own line.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // digg-lint: allow(no-lib-unwrap) — fixture: caller guarantees non-empty input
+    *xs.first().unwrap()
+}
+
+pub fn to_id(i: usize) -> u32 {
+    i as u32 // digg-lint: allow(no-truncating-cast) — fixture: index bounded by u32 population
+}

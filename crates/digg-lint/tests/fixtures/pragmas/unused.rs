@@ -1,0 +1,6 @@
+//! Fixture: a pragma that suppresses nothing must itself be flagged.
+
+pub fn fine(xs: &[u32]) -> Option<u32> {
+    // digg-lint: allow(no-lib-unwrap) — stale: this line no longer unwraps
+    xs.first().copied()
+}

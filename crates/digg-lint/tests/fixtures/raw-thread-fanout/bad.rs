@@ -1,0 +1,8 @@
+//! Fixture: raw thread fan-out instead of the des-core primitives.
+
+pub fn fan_out(xs: &[u64]) -> u64 {
+    std::thread::scope(|s| {
+        let h = s.spawn(|| xs.iter().sum::<u64>());
+        h.join().unwrap_or(0)
+    })
+}

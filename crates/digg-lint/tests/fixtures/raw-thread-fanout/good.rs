@@ -1,0 +1,5 @@
+//! Fixture: fan-out through the deterministic primitives.
+
+pub fn fan_out(xs: &[u64], threads: usize) -> u64 {
+    des_core::par::par_map(xs, threads, |&x| x).iter().sum()
+}

@@ -1,0 +1,131 @@
+//! Fixture tests: for every rule, the `bad.rs` fixture fires exactly
+//! that rule and the `good.rs` fixture is silent; pragma fixtures
+//! prove suppression works and that stale or unparseable pragmas are
+//! themselves errors. Together these pin the acceptance property that
+//! reintroducing a banned pattern (or deleting a load-bearing pragma)
+//! turns the lint red.
+
+use digg_lint::{lint_source, Config};
+
+/// Lint fixture text as library code (every rule in scope).
+fn lint_lib(src: &str) -> Vec<(String, usize)> {
+    lint_source("crates/fixture/src/lib.rs", src, &Config::default())
+        .violations
+        .into_iter()
+        .map(|v| (v.rule.to_string(), v.line))
+        .collect()
+}
+
+fn rules_fired(src: &str) -> Vec<String> {
+    let mut rules: Vec<String> = lint_lib(src).into_iter().map(|(r, _)| r).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+macro_rules! rule_fixture {
+    ($test:ident, $dir:literal, $rule:literal) => {
+        #[test]
+        fn $test() {
+            let bad = include_str!(concat!("fixtures/", $dir, "/bad.rs"));
+            let good = include_str!(concat!("fixtures/", $dir, "/good.rs"));
+            assert_eq!(
+                rules_fired(bad),
+                vec![$rule.to_string()],
+                "bad.rs must fire exactly {}",
+                $rule
+            );
+            assert!(
+                lint_lib(good).is_empty(),
+                "good.rs must be silent, got {:?}",
+                lint_lib(good)
+            );
+        }
+    };
+}
+
+rule_fixture!(no_wallclock_fixture, "no-wallclock", "no-wallclock");
+rule_fixture!(no_ambient_rng_fixture, "no-ambient-rng", "no-ambient-rng");
+rule_fixture!(no_lib_unwrap_fixture, "no-lib-unwrap", "no-lib-unwrap");
+rule_fixture!(
+    no_unordered_serialize_fixture,
+    "no-unordered-serialize",
+    "no-unordered-serialize"
+);
+rule_fixture!(
+    no_truncating_cast_fixture,
+    "no-truncating-cast",
+    "no-truncating-cast"
+);
+rule_fixture!(
+    raw_thread_fanout_fixture,
+    "raw-thread-fanout",
+    "raw-thread-fanout"
+);
+
+#[test]
+fn bad_fixtures_flag_every_expected_line() {
+    // Spot-check line anchoring on the densest fixture.
+    let bad = include_str!("fixtures/no-lib-unwrap/bad.rs");
+    let lines: Vec<usize> = lint_lib(bad).into_iter().map(|(_, l)| l).collect();
+    assert_eq!(lines.len(), 3, "unwrap, expect and todo! sites");
+}
+
+#[test]
+fn allow_pragmas_suppress_in_both_placements() {
+    let src = include_str!("fixtures/pragmas/allowed.rs");
+    let report = lint_source("crates/fixture/src/lib.rs", src, &Config::default());
+    assert!(
+        report.violations.is_empty(),
+        "both pragma placements must suppress, got {:?}",
+        report.violations
+    );
+    assert_eq!(report.allows_honoured, 2);
+}
+
+#[test]
+fn unused_allow_is_an_error() {
+    let src = include_str!("fixtures/pragmas/unused.rs");
+    assert_eq!(rules_fired(src), vec!["unused-allow".to_string()]);
+}
+
+#[test]
+fn malformed_and_misplaced_pragmas_do_not_suppress() {
+    let src = include_str!("fixtures/pragmas/malformed.rs");
+    let fired = rules_fired(src);
+    // Unknown rule id and missing reason are malformed; the unwraps
+    // they failed to cover still fire; the pragma one line too far up
+    // is unused.
+    assert_eq!(
+        fired,
+        vec![
+            "malformed-pragma".to_string(),
+            "no-lib-unwrap".to_string(),
+            "unused-allow".to_string(),
+        ]
+    );
+    let unwraps = lint_lib(src)
+        .into_iter()
+        .filter(|(r, _)| r == "no-lib-unwrap")
+        .count();
+    assert_eq!(unwraps, 3, "none of the three unwraps may be suppressed");
+}
+
+#[test]
+fn bin_files_skip_unwrap_but_keep_determinism_rules() {
+    let src = "pub fn main() {\n    let _ = vec![1].pop().unwrap();\n    let _ = std::time::Instant::now();\n}\n";
+    let report = lint_source("crates/fixture/src/bin/tool.rs", src, &Config::default());
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, vec!["no-wallclock"]);
+}
+
+#[test]
+fn allowlisted_modules_are_exempt() {
+    let clock = "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n";
+    let report = lint_source("crates/bench/src/timing.rs", clock, &Config::default());
+    assert!(report.violations.is_empty());
+
+    let fanout = "pub fn go() { std::thread::scope(|_s| {}); }\n";
+    let report = lint_source("crates/des-core/src/par.rs", fanout, &Config::default());
+    assert!(report.violations.is_empty());
+}

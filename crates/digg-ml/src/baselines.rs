@@ -96,9 +96,7 @@ impl OneR {
         for attr in 0..ds.attribute_count() {
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
-                ds.instances()[a].values[attr]
-                    .partial_cmp(&ds.instances()[b].values[attr])
-                    .expect("no NaN")
+                ds.instances()[a].values[attr].total_cmp(&ds.instances()[b].values[attr])
             });
             let mut le_pos = 0usize;
             for k in 0..n {

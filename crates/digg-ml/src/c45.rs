@@ -84,9 +84,7 @@ fn best_split(ds: &MlDataset, idx: &[usize], min_leaf: usize) -> Option<(usize, 
         // Sort indices by this attribute.
         let mut order: Vec<usize> = idx.to_vec();
         order.sort_by(|&a, &b| {
-            ds.instances()[a].values[attr]
-                .partial_cmp(&ds.instances()[b].values[attr])
-                .expect("no NaN in dataset")
+            ds.instances()[a].values[attr].total_cmp(&ds.instances()[b].values[attr])
         });
         let total = order.len();
         let total_pos = order.iter().filter(|&&i| ds.instances()[i].label).count();
@@ -129,12 +127,11 @@ fn best_split(ds: &MlDataset, idx: &[usize], min_leaf: usize) -> Option<(usize, 
         .into_iter()
         .filter(|c| c.3 >= mean_gain - 1e-12)
         .max_by(|a, b| {
-            a.4.partial_cmp(&b.4)
-                .expect("gain ratios are finite")
+            a.4.total_cmp(&b.4)
                 // Deterministic tie-break: lower attribute, lower
                 // threshold.
                 .then(b.0.cmp(&a.0))
-                .then(b.1.partial_cmp(&a.1).expect("finite thresholds"))
+                .then(b.1.total_cmp(&a.1))
         })
         .map(|(attr, th, counts, _, _)| (attr, th, counts))
 }

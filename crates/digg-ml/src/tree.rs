@@ -191,6 +191,7 @@ impl DecisionTree {
             gt,
         } = node
         else {
+            // digg-lint: allow(no-lib-unwrap) — caller dispatches leaves before recursing; only splits reach render_node
             unreachable!("render_node is only called on splits");
         };
         let name = &self.attribute_names[*attr];

@@ -63,6 +63,7 @@ impl TickSim {
     /// disagrees with `cfg.users`.
     pub fn new(cfg: SimConfig, pop: Population) -> TickSim {
         if let Err(e) = cfg.validate() {
+            // digg-lint: allow(no-lib-unwrap) — documented constructor contract ("# Panics"): invalid config is a caller bug
             panic!("invalid SimConfig: {e}");
         }
         assert_eq!(
@@ -71,8 +72,10 @@ impl TickSim {
             "config.users must match population size"
         );
         let browse_table =
+            // digg-lint: allow(no-lib-unwrap) — Population::validate (checked above via cfg) guarantees positive weights
             AliasTable::new(&pop.browse_weight).expect("population browse weights are positive");
         let submit_table =
+            // digg-lint: allow(no-lib-unwrap) — Population::validate (checked above via cfg) guarantees positive weights
             AliasTable::new(&pop.submit_weight).expect("submission weights are positive");
         let rng = StdRng::seed_from_u64(cfg.seed);
         let promoter = promotion::from_kind(cfg.promoter);

@@ -28,6 +28,7 @@ pub fn tau_for_half_life(half_life_minutes: f64) -> f64 {
 /// after each page with probability `stop`: `(1 - stop)^p`.
 pub fn page_reach(p: usize, stop: f64) -> f64 {
     debug_assert!((0.0..=1.0).contains(&stop));
+    // digg-lint: allow(no-truncating-cast) — powi exponent: page depth is tiny (reach underflows to 0 long before i32::MAX)
     (1.0 - stop).powi(p as i32)
 }
 

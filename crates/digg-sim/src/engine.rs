@@ -190,6 +190,7 @@ impl Sim {
     /// Create a simulation on an explicit [`Kernel`].
     pub fn with_kernel(cfg: SimConfig, pop: Population, kernel: Kernel) -> Sim {
         if let Err(e) = cfg.validate() {
+            // digg-lint: allow(no-lib-unwrap) — documented constructor contract ("# Panics"): invalid config is a caller bug
             panic!("invalid SimConfig: {e}");
         }
         assert_eq!(
@@ -198,8 +199,10 @@ impl Sim {
             "config.users must match population size"
         );
         let browse_table =
+            // digg-lint: allow(no-lib-unwrap) — Population::validate (checked above via cfg) guarantees positive weights
             AliasTable::new(&pop.browse_weight).expect("population browse weights are positive");
         let submit_table =
+            // digg-lint: allow(no-lib-unwrap) — Population::validate (checked above via cfg) guarantees positive weights
             AliasTable::new(&pop.submit_weight).expect("submission weights are positive");
         let rng = StdRng::seed_from_u64(cfg.seed);
         let promoter = promotion::from_kind(cfg.promoter);
@@ -304,6 +307,7 @@ impl Sim {
             if t > horizon.0 {
                 break;
             }
+            // digg-lint: allow(no-lib-unwrap) — queue invariant: peek_time just returned Some and nothing popped in between
             let e = self.events.pop().expect("peeked event vanished");
             // The clock only moves forward; events never fire early.
             self.now = Minute(e.time.max(self.now.0));

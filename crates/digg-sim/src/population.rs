@@ -119,7 +119,7 @@ impl Population {
     /// `top_fraction` of users — the §3 concentration statistic.
     pub fn activity_concentration(&self, top_fraction: f64) -> f64 {
         let mut act = self.activity.clone();
-        act.sort_by(|a, b| b.partial_cmp(a).expect("activity is finite"));
+        act.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = act.iter().sum();
         if total <= 0.0 {
             return 0.0;
@@ -158,11 +158,7 @@ impl Population {
         // Give the big friend lists to the active users: sort degrees
         // descending and assign along the activity ranking.
         let mut by_activity: Vec<usize> = (0..n).collect();
-        by_activity.sort_by(|&a, &b| {
-            activity[b]
-                .partial_cmp(&activity[a])
-                .expect("activity is finite")
-        });
+        by_activity.sort_by(|&a, &b| activity[b].total_cmp(&activity[a]));
         degs.sort_unstable_by(|a, b| b.cmp(a));
         let mut out_degrees = vec![0usize; n];
         for (deg, &user) in degs.into_iter().zip(&by_activity) {

@@ -75,8 +75,9 @@ impl GroupedSummary {
             .iter()
             .map(|(&key, vals)| {
                 let mut sorted = vals.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in grouped data"));
+                sorted.sort_by(f64::total_cmp);
                 let median = quantile_sorted(&sorted, 0.5);
+                // digg-lint: allow(no-lib-unwrap) — group vecs are created non-empty by the entry().push() accumulation above
                 let (lo, hi) = Summary::trimmed_range(&sorted).expect("group is nonempty");
                 let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
                 GroupRow {

@@ -20,7 +20,7 @@ impl Ecdf {
             return None;
         }
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        sorted.sort_by(f64::total_cmp);
         Some(Ecdf { sorted })
     }
 

@@ -34,7 +34,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -52,7 +52,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     Some(quantile_sorted(&sorted, q))
 }
 
@@ -106,7 +106,7 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        sorted.sort_by(f64::total_cmp);
         Some(Summary {
             count: sorted.len(),
             min: sorted[0],
@@ -114,7 +114,7 @@ impl Summary {
             median: quantile_sorted(&sorted, 0.5),
             q3: quantile_sorted(&sorted, 0.75),
             max: sorted[sorted.len() - 1],
-            mean: mean(&sorted).expect("nonempty"),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
         })
     }
 
@@ -132,7 +132,7 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        sorted.sort_by(f64::total_cmp);
         if sorted.len() <= 2 {
             let m = quantile_sorted(&sorted, 0.5);
             return Some((m, m));

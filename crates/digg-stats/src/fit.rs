@@ -57,7 +57,7 @@ pub fn fit_best_xmin(xs: &[u64], xmin_candidates: &[u64]) -> Option<PowerLawFit>
     xmin_candidates
         .iter()
         .filter_map(|&m| fit_alpha(xs, m))
-        .min_by(|a, b| a.ks.partial_cmp(&b.ks).expect("KS is finite"))
+        .min_by(|a, b| a.ks.total_cmp(&b.ks))
 }
 
 /// KS distance between the empirical tail CDF and the fitted power

@@ -196,7 +196,9 @@ impl LogHistogram {
     /// `[lo, hi)` edges of bin `k`.
     pub fn bin_range(&self, k: usize) -> (f64, f64) {
         (
+            // digg-lint: allow(no-truncating-cast) — powi exponent: bin index is bounded by the bin count (far below i32::MAX)
             self.lo * self.ratio.powi(k as i32),
+            // digg-lint: allow(no-truncating-cast) — powi exponent: bin index is bounded by the bin count (far below i32::MAX)
             self.lo * self.ratio.powi(k as i32 + 1),
         )
     }

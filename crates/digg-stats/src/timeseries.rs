@@ -27,7 +27,7 @@ impl CumulativeSeries {
         assert!(step > 0.0, "step must be positive");
         assert!(horizon >= 0.0, "horizon must be non-negative");
         let mut sorted: Vec<f64> = times.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN event time"));
+        sorted.sort_by(f64::total_cmp);
         let n = (horizon / step).floor() as usize + 1;
         let mut values = Vec::with_capacity(n);
         for i in 0..n {

@@ -101,6 +101,7 @@ impl GraphBuilder {
     /// count exceeds the `u32` CSR offset space (see
     /// [`GraphBuilder::try_build`] for the fallible form).
     pub fn build(self) -> SocialGraph {
+        // digg-lint: allow(no-lib-unwrap) — documented panicking convenience over try_build ("# Panics" above)
         self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -123,6 +124,7 @@ impl GraphBuilder {
     /// count exceeds the `u32` CSR offset space.
     pub fn build_parallel(self, threads: usize) -> SocialGraph {
         self.try_build_parallel(threads)
+            // digg-lint: allow(no-lib-unwrap) — documented panicking convenience over try_build_parallel ("# Panics" above)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 

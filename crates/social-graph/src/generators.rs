@@ -124,6 +124,7 @@ pub fn erdos_renyi_sharded(seed: u64, n: usize, p: f64, threads: usize) -> Socia
         }
         row
     });
+    // digg-lint: allow(no-lib-unwrap) — documented panicking convenience over the fallible CSR build; generators are test/bench-sized
     crate::par_build::from_sorted_rows(&rows, threads).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -290,6 +291,7 @@ pub fn configuration_model_sharded(
         row.sort_unstable();
         row
     });
+    // digg-lint: allow(no-lib-unwrap) — documented panicking convenience over the fallible CSR build; generators are test/bench-sized
     crate::par_build::from_sorted_rows(&rows, threads).unwrap_or_else(|e| panic!("{e}"))
 }
 

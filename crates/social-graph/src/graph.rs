@@ -58,7 +58,9 @@ impl SocialGraph {
         fan_targets: Vec<UserId>,
     ) -> SocialGraph {
         debug_assert_eq!(friend_offsets.len(), fan_offsets.len());
+        // digg-lint: allow(no-truncating-cast) — debug assertion on already-built u32 CSR offsets; builders reject overflow
         debug_assert_eq!(friend_offsets.last(), Some(&(friend_targets.len() as u32)));
+        // digg-lint: allow(no-truncating-cast) — debug assertion on already-built u32 CSR offsets; builders reject overflow
         debug_assert_eq!(fan_offsets.last(), Some(&(fan_targets.len() as u32)));
         debug_assert_eq!(friend_targets.len(), fan_targets.len());
         SocialGraph {
@@ -210,6 +212,7 @@ impl SocialGraph {
                     Self::row(offsets, targets, u)
                         .iter()
                         .filter(|t| in_set[t.index()])
+                        // digg-lint: allow(no-truncating-cast) — a row's neighbour count is bounded by the u32 node count
                         .count() as u32
                 } else {
                     0

@@ -27,6 +27,7 @@ impl UserId {
     /// workspace never builds populations that large).
     #[inline]
     pub fn from_index(i: usize) -> UserId {
+        // digg-lint: allow(no-lib-unwrap) — the single checked index→id conversion point the cast rule routes callers to
         UserId(u32::try_from(i).expect("user index exceeds u32 range"))
     }
 }

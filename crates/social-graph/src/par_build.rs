@@ -209,6 +209,7 @@ pub(crate) fn from_sorted_rows(
 fn shard_map(bounds: &[usize], n: usize) -> Vec<u16> {
     let mut map = vec![0u16; n];
     for s in 0..bounds.len() - 1 {
+        // digg-lint: allow(no-truncating-cast) — shard count is worker_threads()-bounded, far below u16::MAX
         map[bounds[s]..bounds[s + 1]].fill(s as u16);
     }
     map

@@ -35,6 +35,7 @@ pub fn bfs_distances(g: &SocialGraph, src: UserId, dir: Direction) -> Vec<Option
     dist[src.index()] = Some(0);
     q.push_back(src);
     while let Some(u) = q.pop_front() {
+        // digg-lint: allow(no-lib-unwrap) — BFS invariant: a node is enqueued only after its distance is set
         let du = dist[u.index()].expect("queued nodes have distances");
         for &v in neighbours(g, u, dir) {
             if dist[v.index()].is_none() {
@@ -118,15 +119,14 @@ pub fn weak_component_count(g: &SocialGraph) -> usize {
 /// Size of the largest weakly connected component (0 for empty graph).
 pub fn largest_component_size(g: &SocialGraph) -> usize {
     let comp = weak_components(g);
-    if comp.is_empty() {
+    let Some(max_label) = comp.iter().copied().max() else {
         return 0;
-    }
-    let k = comp.iter().copied().max().expect("nonempty") as usize + 1;
-    let mut sizes = vec![0usize; k];
+    };
+    let mut sizes = vec![0usize; max_label as usize + 1];
     for c in comp {
         sizes[c as usize] += 1;
     }
-    sizes.into_iter().max().expect("at least one component")
+    sizes.into_iter().max().unwrap_or(0)
 }
 
 #[cfg(test)]
