@@ -1,0 +1,67 @@
+//! Criterion bench for the per-vote analytics primitive:
+//! `IncrementalSweep::apply_vote` over a full story against the batch
+//! re-sweep-per-vote alternative, on a 10k-user graph. The scale
+//! harness (`experiments incr_sweep`) covers the million-user point;
+//! this bench tracks the per-call cost where the state machine's
+//! epoch-clear and fan-row probe overheads live.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use des_core::StreamRng;
+use digg_bench::incr::{batch_checkpoints, incremental_checkpoints};
+use digg_bench::scale::scale_edge_list;
+use digg_core::predictor::fig5_predictor;
+use digg_core::IncrementalSweep;
+use rand::Rng;
+use social_graph::{GraphBuilder, SocialGraph, UserId};
+use std::hint::black_box;
+
+const USERS: usize = 10_000;
+const STORIES: usize = 20;
+const VOTES: usize = 100;
+
+fn graph_and_stories() -> (SocialGraph, Vec<Vec<UserId>>) {
+    let edges = scale_edge_list(1, USERS, 10, 8);
+    let mut b = GraphBuilder::new(USERS);
+    b.extend_watches(edges.iter().copied());
+    let graph = b.build();
+    let stories = (0..STORIES)
+        .map(|i| {
+            let mut rng = StreamRng::keyed(1, &[0x42_4e43, i as u64]);
+            let mut voters: Vec<UserId> = Vec::with_capacity(VOTES);
+            while voters.len() < VOTES {
+                let v = UserId::from_index(rng.random_range(0..USERS));
+                if !voters.contains(&v) {
+                    voters.push(v);
+                }
+            }
+            voters
+        })
+        .collect();
+    (graph, stories)
+}
+
+fn bench_incr_sweep(c: &mut Criterion) {
+    let (graph, stories) = graph_and_stories();
+    let predictor = fig5_predictor();
+
+    c.bench_function("incr_apply_vote_story100", |b| {
+        let mut incr = IncrementalSweep::new(&graph);
+        b.iter(|| {
+            incr.begin(&graph);
+            incr.reserve_votes(VOTES);
+            for &v in &stories[0] {
+                black_box(incr.apply_vote(&graph, v));
+            }
+            black_box(incr.votes_applied())
+        })
+    });
+    c.bench_function("incr_checkpoints_20x100", |b| {
+        b.iter(|| black_box(incremental_checkpoints(&graph, &stories, &predictor)))
+    });
+    c.bench_function("batch_resweep_checkpoints_20x100", |b| {
+        b.iter(|| black_box(batch_checkpoints(&graph, &stories, &predictor)))
+    });
+}
+
+criterion_group!(benches, bench_incr_sweep);
+criterion_main!(benches);

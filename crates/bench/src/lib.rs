@@ -24,6 +24,10 @@
 //!   users, ~10M edges) with bit-identity enforced, plus degree
 //!   metrics and a story-sweep batch; records edges/sec and votes/sec
 //!   `scale` rows into `bench_summary.json`.
+//! * [`incr`] — the `incr_sweep` experiment: per-vote analytics via
+//!   `IncrementalSweep::apply_vote` against a re-sweep-every-vote
+//!   batch baseline on the same scaled graph, with checkpoint
+//!   equality enforced and the speedup recorded as `scale` rows.
 //! * `benches/*` — Criterion benches. `figures.rs` times every
 //!   analysis that regenerates a figure (on a shared synthesized
 //!   dataset); `perf.rs` times the substrates (graph ops, simulator
@@ -39,6 +43,7 @@
 pub mod ablations;
 pub mod baseline;
 pub mod degradation;
+pub mod incr;
 pub mod registry;
 pub mod scale;
 pub mod sweeps;

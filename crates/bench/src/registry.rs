@@ -372,6 +372,13 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         },
     },
     ExperimentSpec {
+        name: "incr_sweep",
+        about: "per-vote incremental analytics vs batch re-sweep (speedup + checkpoint equality)",
+        runner: Runner::Standalone {
+            run: crate::incr::run_incr_sweep,
+        },
+    },
+    ExperimentSpec {
         name: "degradation_sweep",
         about: "predictor precision/recall decay vs injected scrape-fault rates",
         runner: Runner::Standalone {

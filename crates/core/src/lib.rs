@@ -26,8 +26,13 @@
 //!
 //! Modules:
 //!
+//! * [`incremental`] — the per-vote state machine
+//!   ([`IncrementalSweep`]): counters, features and verdict updated in
+//!   O(new-voter-fan-degree) per vote, byte-identical to a batch
+//!   recompute of the applied prefix.
 //! * [`story_metrics`] — the single-pass sweep engine every other
-//!   analysis module and experiment routes through.
+//!   analysis module and experiment routes through; a thin replay
+//!   over [`incremental`].
 //! * [`cascade`] — in-network vote analysis.
 //! * [`influence`] — Friends-interface visibility.
 //! * [`features`] — `(v6, v10, v20, fans1)` extraction, dataset
@@ -47,6 +52,7 @@
 pub mod cascade;
 pub mod experiments;
 pub mod features;
+pub mod incremental;
 pub mod influence;
 pub mod pipeline;
 pub mod predictor;
@@ -55,7 +61,10 @@ pub mod story_metrics;
 
 pub use cascade::{in_network_count_within, in_network_flags};
 pub use features::{FanCoverage, StoryFeatures, INTERESTINGNESS_THRESHOLD};
-pub use pipeline::{run_pipeline, run_pipeline_with_coverage, PipelineConfig, PipelineCoverage};
+pub use incremental::{IncrementalSweep, VoteApplied};
+pub use pipeline::{
+    run_pipeline, run_pipeline_with_coverage, PipelineConfig, PipelineCoverage, StoryPrefixes,
+};
 pub use predictor::InterestingnessPredictor;
 pub use story_metrics::{
     par_fold, par_join, par_map, sweep_map, try_par_join, try_par_map, try_sweep_map,

@@ -13,11 +13,92 @@
 
 use crate::features::{build_training_set, FanCoverage, StoryFeatures};
 use crate::predictor::InterestingnessPredictor;
+use crate::story_metrics::StorySweeper;
 use digg_data::{DiggDataset, StoryRecord};
 use digg_ml::c45::C45Params;
 use digg_ml::crossval::CrossValResult;
 use digg_ml::ConfusionMatrix;
 use serde::{Deserialize, Serialize};
+use social_graph::SocialGraph;
+
+/// One story's features, evaluable at **any vote prefix** from a
+/// single sweep.
+///
+/// The paper's feature windows (`v6`/`v10`/`v20`) are prefix-stable:
+/// truncating the voter list to its first `k` entries leaves every
+/// earlier cumulative cascade count unchanged. One sweep of the first
+/// `min(len, 21)` voters therefore determines the features of *every*
+/// prefix, and [`features_at`](StoryPrefixes::features_at) reads them
+/// off in O(1) — the prediction experiments evaluate the predictor at
+/// each prefix without re-sweeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoryPrefixes {
+    /// Cumulative in-network counts for the first ≤ 20 post-submitter
+    /// votes (all the feature windows can see).
+    cascade: Vec<usize>,
+    /// Fans of the submitter.
+    fans1: usize,
+    /// Full scraped voter-list length (submitter included).
+    scraped_votes: usize,
+}
+
+impl StoryPrefixes {
+    /// Compute from a scraped record: one sweep of the first
+    /// `min(len, 21)` voters.
+    pub fn compute(record: &StoryRecord, graph: &SocialGraph) -> StoryPrefixes {
+        StoryPrefixes::compute_with(&mut StorySweeper::new(graph), record, graph)
+    }
+
+    /// [`StoryPrefixes::compute`] reusing a caller-owned sweeper (the
+    /// batch path: no per-story allocation beyond the cascade copy).
+    pub fn compute_with(
+        sweeper: &mut StorySweeper,
+        record: &StoryRecord,
+        graph: &SocialGraph,
+    ) -> StoryPrefixes {
+        let window = record.voters.len().min(21);
+        let sweep = sweeper.sweep(graph, &record.voters[..window]);
+        StoryPrefixes {
+            cascade: sweep.cascade().to_vec(),
+            fans1: graph.fan_count(record.submitter),
+            scraped_votes: record.voters.len(),
+        }
+    }
+
+    /// Features as if only the first `k` voters had been scraped —
+    /// equal to [`StoryFeatures::extract`] on the `k`-truncated
+    /// record. `None` when the prefix lacks the 10-vote observation
+    /// window (`k <= 10`) or exceeds the scraped list.
+    pub fn features_at(&self, k: usize) -> Option<StoryFeatures> {
+        if k <= 10 || k > self.scraped_votes {
+            return None;
+        }
+        // Prefix k has k - 1 post-submitter votes; window n reads the
+        // cascade after min(n, k - 1) of them.
+        let within = |n: usize| match n.min(k - 1).min(self.cascade.len()) {
+            0 => 0,
+            m => self.cascade[m - 1],
+        };
+        Some(StoryFeatures {
+            v6: within(6),
+            v10: within(10),
+            v20: within(20),
+            fans1: self.fans1,
+            scraped_votes: k,
+        })
+    }
+
+    /// Features of the full scraped list — equal to
+    /// [`StoryFeatures::extract`] on the record itself.
+    pub fn features(&self) -> Option<StoryFeatures> {
+        self.features_at(self.scraped_votes)
+    }
+
+    /// Full scraped voter-list length (submitter included).
+    pub fn scraped_votes(&self) -> usize {
+        self.scraped_votes
+    }
+}
 
 /// Pipeline parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,12 +290,15 @@ pub fn run_pipeline_with_coverage(
     let mut clf_pos_on_promoted = 0usize;
     let mut clf_correct_on_promoted = 0usize;
     let mut holdout_unextractable = 0usize;
-    let mut sweeper = crate::story_metrics::StorySweeper::new(&ds.network);
+    let mut sweeper = StorySweeper::new(&ds.network);
     for row in &holdout {
         let r = row.record;
         // digg-lint: allow(no-lib-unwrap) — invariant: the holdout was filtered to augmented records three lines up
         let actual = r.is_interesting(cfg.threshold).expect("filtered augmented");
-        let Some(f) = StoryFeatures::extract_with(&mut sweeper, r, &ds.network) else {
+        // One sweep determines every prefix; the full-window features
+        // here are bit-identical to `StoryFeatures::extract`.
+        let prefixes = StoryPrefixes::compute_with(&mut sweeper, r, &ds.network);
+        let Some(f) = prefixes.features() else {
             holdout_unextractable += 1;
             continue;
         };
@@ -400,6 +484,29 @@ mod tests {
             assert_eq!(coverage.training.voters_with_fans, 0);
             assert_eq!(coverage.training.fraction(), 0.0);
             assert!(coverage.training.fraction().is_finite());
+        }
+    }
+
+    #[test]
+    fn prefix_features_match_truncated_extraction() {
+        let ds = toy_dataset();
+        let g = &ds.network;
+        for r in ds.front_page.iter().chain(&ds.upcoming) {
+            let prefixes = StoryPrefixes::compute(r, g);
+            assert_eq!(prefixes.features(), StoryFeatures::extract(r, g));
+            assert_eq!(prefixes.scraped_votes(), r.voters.len());
+            for k in 0..=r.voters.len() + 2 {
+                let mut truncated = r.clone();
+                truncated.voters.truncate(k);
+                let batch = StoryFeatures::extract(&truncated, g);
+                let expect = if k <= r.voters.len() { batch } else { None };
+                assert_eq!(
+                    prefixes.features_at(k),
+                    expect,
+                    "story {:?} prefix {k}",
+                    r.story
+                );
+            }
         }
     }
 

@@ -25,27 +25,28 @@
 //! hold one [`StorySweeper`] per worker thread and stream stories
 //! through it.
 
-use social_graph::{SocialGraph, UserId, VisitBuffer};
+use crate::incremental::IncrementalSweep;
+use social_graph::{SocialGraph, UserId};
 
 /// Reusable sweep engine. Construct once per thread (scratch size is
 /// the graph's user count) and call [`StorySweeper::sweep`] per story.
+///
+/// A thin replay over [`IncrementalSweep`]: a sweep is `begin` plus
+/// one `apply_vote` per voter, so the batch and per-vote paths share
+/// one implementation and cannot drift — the outputs are structurally
+/// identical, not merely tested equal.
 #[derive(Debug, Clone)]
 pub struct StorySweeper {
-    /// Users reachable through the Friends interface: the fan-union of
-    /// everyone who has voted so far.
-    reached: VisitBuffer,
-    /// Users who have voted so far.
-    voted: VisitBuffer,
-    out: StorySweep,
+    incr: IncrementalSweep,
 }
 
 /// The per-story result of one sweep. Borrowed from the sweeper; copy
 /// out what must outlive the next call.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StorySweep {
-    flags: Vec<bool>,
-    cascade: Vec<usize>,
-    influence: Vec<usize>,
+    pub(crate) flags: Vec<bool>,
+    pub(crate) cascade: Vec<usize>,
+    pub(crate) influence: Vec<usize>,
 }
 
 impl StorySweeper {
@@ -57,9 +58,7 @@ impl StorySweeper {
     /// A sweeper covering users `0..n`.
     pub fn for_users(n: usize) -> StorySweeper {
         StorySweeper {
-            reached: VisitBuffer::new(n),
-            voted: VisitBuffer::new(n),
-            out: StorySweep::default(),
+            incr: IncrementalSweep::for_users(n),
         }
     }
 
@@ -67,43 +66,12 @@ impl StorySweeper {
     /// O(Σ fan-degree of voters); no allocation once the output
     /// vectors have grown to the story size.
     pub fn sweep(&mut self, graph: &SocialGraph, voters: &[UserId]) -> &StorySweep {
-        self.reached.ensure_capacity(graph.user_count());
-        self.voted.ensure_capacity(graph.user_count());
-        self.reached.clear();
-        self.voted.clear();
-        let out = &mut self.out;
-        out.flags.clear();
-        out.cascade.clear();
-        out.influence.clear();
-        out.flags.reserve(voters.len().saturating_sub(1));
-        out.cascade.reserve(voters.len().saturating_sub(1));
-        out.influence.reserve(voters.len());
-
-        let mut audience = 0usize;
-        let mut cascade = 0usize;
-        for (k, &v) in voters.iter().enumerate() {
-            if k > 0 {
-                let in_network = self.reached.contains(v);
-                if in_network {
-                    cascade += 1;
-                }
-                out.flags.push(in_network);
-                out.cascade.push(cascade);
-            }
-            // `v` stops being audience the moment it votes (votes by
-            // the same user twice — absent from real data, possible in
-            // randomized tests — change nothing the second time).
-            if self.voted.insert(v) && self.reached.contains(v) {
-                audience -= 1;
-            }
-            for &f in graph.fans(v) {
-                if self.reached.insert(f) && !self.voted.contains(f) {
-                    audience += 1;
-                }
-            }
-            out.influence.push(audience);
+        self.incr.begin(graph);
+        self.incr.reserve_votes(voters.len());
+        for &v in voters {
+            self.incr.apply_vote(graph, v);
         }
-        &self.out
+        self.incr.sweep()
     }
 }
 

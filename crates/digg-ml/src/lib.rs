@@ -24,7 +24,9 @@
 //!
 //! Modules: [`data`], [`entropy`], [`tree`], [`c45`], [`prune`],
 //! [`crossval`], [`metrics`], [`baselines`], [`ensemble`] (bagged
-//! trees — a modern extension beyond the paper's single J48).
+//! trees — a modern extension beyond the paper's single J48), and
+//! [`stream`] (a decision-path cache keeping a verdict current across
+//! per-vote attribute updates).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,9 +39,11 @@ pub mod ensemble;
 pub mod entropy;
 pub mod metrics;
 pub mod prune;
+pub mod stream;
 pub mod tree;
 
 pub use c45::{train, C45Params};
 pub use data::{Instance, MlDataset};
 pub use metrics::ConfusionMatrix;
+pub use stream::StreamingPrediction;
 pub use tree::DecisionTree;

@@ -1,0 +1,249 @@
+//! Streaming prediction — re-evaluate a tree as attributes update.
+//!
+//! The live vote-apply workload (`digg-core::incremental`) holds a
+//! current attribute vector whose entries drift one vote at a time:
+//! `v10` ticks up when an early in-network vote arrives, `fans1` is
+//! fixed at submission. Re-walking the tree from the root on every
+//! tick is O(depth) — cheap, but wasteful when the update cannot
+//! change the outcome. [`StreamingPrediction`] caches the current
+//! **decision path** (the `attr <= threshold` tests the last walk
+//! took) and on each update first checks whether the new value keeps
+//! every cached test involving that attribute on the same side; if so
+//! the verdict is unchanged with no tree access at all. Tests on
+//! other attributes cannot be affected, so the fast path is exact,
+//! not approximate.
+
+use crate::tree::{DecisionTree, Node};
+
+/// One `attr <= threshold` test on the cached decision path, with the
+/// branch it took (`le` = the `value <= threshold` side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PathTest {
+    attr: usize,
+    threshold: f64,
+    le: bool,
+}
+
+/// A tree verdict kept current across attribute updates.
+///
+/// # Examples
+///
+/// ```
+/// use digg_ml::stream::StreamingPrediction;
+/// use digg_ml::tree::{DecisionTree, Node};
+///
+/// let tree = DecisionTree {
+///     attribute_names: vec!["x".into()],
+///     root: Node::Split {
+///         attr: 0,
+///         threshold: 4.0,
+///         le: Box::new(Node::Leaf { label: true, total: 1, errors: 0 }),
+///         gt: Box::new(Node::Leaf { label: false, total: 1, errors: 0 }),
+///     },
+/// };
+/// let mut s = StreamingPrediction::new(&tree, vec![0.0]);
+/// assert!(s.verdict());
+/// assert!(s.predict_update(&tree, 0, 3.0)); // same side: fast path
+/// assert!(!s.predict_update(&tree, 0, 5.0)); // crossed: re-walk
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingPrediction {
+    values: Vec<f64>,
+    path: Vec<PathTest>,
+    verdict: bool,
+    walks: usize,
+    fast_path_hits: usize,
+}
+
+impl StreamingPrediction {
+    /// Evaluate `tree` on the initial attribute vector and cache the
+    /// decision path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the attribute indices the
+    /// tree tests (the same contract as [`DecisionTree::predict`]).
+    pub fn new(tree: &DecisionTree, values: Vec<f64>) -> StreamingPrediction {
+        let mut s = StreamingPrediction {
+            values,
+            path: Vec::new(),
+            verdict: false,
+            walks: 0,
+            fast_path_hits: 0,
+        };
+        s.walk(tree);
+        s
+    }
+
+    /// The current verdict.
+    pub fn verdict(&self) -> bool {
+        self.verdict
+    }
+
+    /// The current attribute vector.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Full tree walks performed (the initial one included).
+    pub fn walks(&self) -> usize {
+        self.walks
+    }
+
+    /// Updates answered from the cached path without touching the
+    /// tree.
+    pub fn fast_path_hits(&self) -> usize {
+        self.fast_path_hits
+    }
+
+    /// Set attribute `attr` to `value` and return the (possibly
+    /// unchanged) verdict. O(path length) when the update stays on
+    /// the cached decision path, O(depth) when it crosses a
+    /// threshold; always equal to a fresh
+    /// [`DecisionTree::predict`] on the updated vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of range for the initial vector.
+    pub fn predict_update(&mut self, tree: &DecisionTree, attr: usize, value: f64) -> bool {
+        self.values[attr] = value;
+        let holds = self
+            .path
+            .iter()
+            .filter(|t| t.attr == attr)
+            .all(|t| (value <= t.threshold) == t.le);
+        if holds {
+            // Every test on the path involving `attr` keeps its
+            // branch, and no other test reads `attr`: same leaf.
+            self.fast_path_hits += 1;
+        } else {
+            self.walk(tree);
+        }
+        self.verdict
+    }
+
+    /// Re-walk the tree, recording the decision path.
+    fn walk(&mut self, tree: &DecisionTree) {
+        self.path.clear();
+        self.walks += 1;
+        let mut node = &tree.root;
+        loop {
+            match node {
+                Node::Leaf { label, .. } => {
+                    self.verdict = *label;
+                    return;
+                }
+                Node::Split {
+                    attr,
+                    threshold,
+                    le,
+                    gt,
+                } => {
+                    let goes_le = self.values[*attr] <= *threshold;
+                    self.path.push(PathTest {
+                        attr: *attr,
+                        threshold: *threshold,
+                        le: goes_le,
+                    });
+                    node = if goes_le { le } else { gt };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// v10 <= 4 -> yes; v10 in (4, 8] -> fans1 > 85; v10 > 8 -> no
+    /// (the paper's Fig. 5 shape).
+    fn fig5_tree() -> DecisionTree {
+        DecisionTree {
+            attribute_names: vec!["v10".into(), "fans1".into()],
+            root: Node::Split {
+                attr: 0,
+                threshold: 4.0,
+                le: Box::new(Node::Leaf {
+                    label: true,
+                    total: 130,
+                    errors: 5,
+                }),
+                gt: Box::new(Node::Split {
+                    attr: 0,
+                    threshold: 8.0,
+                    le: Box::new(Node::Split {
+                        attr: 1,
+                        threshold: 85.0,
+                        le: Box::new(Node::Leaf {
+                            label: false,
+                            total: 29,
+                            errors: 13,
+                        }),
+                        gt: Box::new(Node::Leaf {
+                            label: true,
+                            total: 30,
+                            errors: 8,
+                        }),
+                    }),
+                    gt: Box::new(Node::Leaf {
+                        label: false,
+                        total: 18,
+                        errors: 0,
+                    }),
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn updates_always_agree_with_fresh_prediction() {
+        let tree = fig5_tree();
+        let mut s = StreamingPrediction::new(&tree, vec![0.0, 0.0]);
+        // A v10 that ticks up one vote at a time, fans1 fixed then
+        // revised (a late fan-list correction).
+        let updates: Vec<(usize, f64)> = (1..=12)
+            .map(|v| (0usize, v as f64))
+            .chain([(1, 90.0), (0, 6.0), (1, 40.0), (0, 3.0)])
+            .collect();
+        for (attr, value) in updates {
+            let got = s.predict_update(&tree, attr, value);
+            assert_eq!(got, tree.predict(s.values()), "attr {attr} = {value}");
+            assert_eq!(got, s.verdict());
+        }
+    }
+
+    #[test]
+    fn same_side_updates_skip_the_walk() {
+        let tree = fig5_tree();
+        let mut s = StreamingPrediction::new(&tree, vec![0.0, 0.0]);
+        assert_eq!(s.walks(), 1);
+        // 0 -> 1 -> 4: all on the v10 <= 4 side.
+        s.predict_update(&tree, 0, 1.0);
+        s.predict_update(&tree, 0, 4.0);
+        assert_eq!(s.walks(), 1);
+        assert_eq!(s.fast_path_hits(), 2);
+        // fans1 is not on the current path (the <= 4 leaf), but the
+        // path holds trivially: still no walk.
+        s.predict_update(&tree, 1, 500.0);
+        assert_eq!(s.walks(), 1);
+        // Crossing the threshold forces a re-walk.
+        assert!(s.predict_update(&tree, 0, 5.0));
+        assert_eq!(s.walks(), 2);
+    }
+
+    #[test]
+    fn repeated_attr_on_path_is_checked_at_every_test() {
+        let tree = fig5_tree();
+        // v10 = 6: path tests v10 twice (> 4, <= 8) plus fans1.
+        let mut s = StreamingPrediction::new(&tree, vec![6.0, 0.0]);
+        assert!(!s.verdict());
+        // 6 -> 7 keeps both v10 tests: fast path.
+        s.predict_update(&tree, 0, 7.0);
+        assert_eq!(s.walks(), 1);
+        // 7 -> 9 keeps "> 4" but crosses "<= 8": must re-walk.
+        assert!(!s.predict_update(&tree, 0, 9.0));
+        assert_eq!(s.walks(), 2);
+        assert_eq!(s.verdict(), tree.predict(&[9.0, 0.0]));
+    }
+}

@@ -39,7 +39,7 @@ use crate::decay::{novelty, sample_pages_viewed};
 use crate::frontpage::FrontPage;
 use crate::metrics::SimMetrics;
 use crate::population::Population;
-use crate::promotion::{self, Promoter};
+use crate::promotion::{self, Promoter, PromoterState};
 use crate::queue::UpcomingQueue;
 use crate::story::{Story, StoryId, StoryStatus, VoteChannel};
 use crate::time::Minute;
@@ -152,6 +152,12 @@ pub struct Sim {
     /// story once).
     scheduled: HashSet<(UserId, StoryId)>,
     promoter: Box<dyn Promoter>,
+    /// Per-story incremental promoter state, indexed like `stories`.
+    /// Lets each promotion re-check fold only the votes it has not
+    /// seen; the tick-loop baseline stays on the batch path, so the
+    /// engine-vs-baseline equivalence tests hold the two against each
+    /// other.
+    promo_states: Vec<PromoterState>,
     browse_table: AliasTable,
     submit_table: AliasTable,
     metrics: SimMetrics,
@@ -214,6 +220,7 @@ impl Sim {
             events: EventQueue::new(),
             scheduled: HashSet::new(),
             stories: Vec::new(),
+            promo_states: Vec::new(),
             now: Minute::ZERO,
             metrics: SimMetrics::default(),
             browse_table,
@@ -395,6 +402,7 @@ impl Sim {
         let id = StoryId::from_index(self.stories.len());
         let story = Story::new(id, submitter, self.now, quality);
         self.stories.push(story);
+        self.promo_states.push(self.promoter.new_state());
         self.queue.push(id, self.now);
         self.metrics.submissions += 1;
         self.events.schedule(
@@ -766,9 +774,10 @@ impl Sim {
         if !story.is_upcoming() || story.age_at(self.now) > self.cfg.queue_lifetime {
             return;
         }
+        let state = &mut self.promo_states[id.index()];
         if self
             .promoter
-            .should_promote(story, &self.pop.graph, self.now)
+            .should_promote_with(state, story, &self.pop.graph, self.now)
         {
             self.stories[id.index()].status = StoryStatus::FrontPage(self.now);
             self.queue.remove(id);

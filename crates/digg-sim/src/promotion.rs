@@ -17,16 +17,59 @@ use crate::story::Story;
 use crate::time::Minute;
 use social_graph::SocialGraph;
 
+/// Per-story incremental promoter state: what a rule has folded from
+/// the vote prefix it has already seen, so a re-check after new votes
+/// costs O(new votes), not O(all votes).
+///
+/// Owned by the engine (one per story), handed back to the promoter on
+/// each [`Promoter::should_promote_with`] call. Rules that need no
+/// state use [`PromoterState::Stateless`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PromoterState {
+    /// The rule recomputes from story counts; nothing to fold.
+    Stateless,
+    /// Running state of [`DiversityPromoter`].
+    Diversity {
+        /// Diversity-weighted vote sum over the applied prefix.
+        weighted: f64,
+        /// Votes folded so far (prefix length).
+        applied: usize,
+    },
+}
+
 /// Decides whether an upcoming story should be promoted right now.
 ///
 /// `Send + Sync` so a finished [`Sim`](crate::Sim) can be shared
 /// across threads (e.g. a `OnceLock` in the bench harness);
-/// promoters are stateless decision rules.
+/// promoters are stateless decision rules — per-story *incremental*
+/// state lives in a caller-owned [`PromoterState`].
 pub trait Promoter: Send + Sync {
     /// Returns `true` when `story` should move to the front page.
     /// `graph` is the watch graph at decision time (Digg's algorithm
     /// had access to the live network).
     fn should_promote(&self, story: &Story, graph: &SocialGraph, now: Minute) -> bool;
+
+    /// Fresh per-story state for the incremental
+    /// [`should_promote_with`](Promoter::should_promote_with) path.
+    fn new_state(&self) -> PromoterState {
+        PromoterState::Stateless
+    }
+
+    /// Incremental promotion check: fold only the votes `state` has
+    /// not seen yet, then decide. Must return exactly what
+    /// [`should_promote`](Promoter::should_promote) returns on the
+    /// same story — stateless rules simply delegate, and the
+    /// tick-loop baseline (which stays on the batch path) holds the
+    /// two answers against each other across whole simulations.
+    fn should_promote_with(
+        &self,
+        _state: &mut PromoterState,
+        story: &Story,
+        graph: &SocialGraph,
+        now: Minute,
+    ) -> bool {
+        self.should_promote(story, graph, now)
+    }
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -63,29 +106,79 @@ pub struct DiversityPromoter {
 
 impl DiversityPromoter {
     /// The weighted vote sum for a story under this rule.
+    ///
+    /// Single pass: vote `k` is in-network iff one of the voter's
+    /// friends voted at a position `< k` — a probe of the voter's
+    /// friend row against the story's position index, replacing the
+    /// per-vote clone of the growing prior-voter list (O(votes²)
+    /// allocation) the rule used to make. The addition order is the
+    /// vote order either way, so the f64 sum is bit-identical.
     pub fn weighted_votes(&self, story: &Story, graph: &SocialGraph) -> f64 {
-        let mut sum = 0.0;
-        let votes = &story.votes;
-        for (k, v) in votes.iter().enumerate() {
-            if k == 0 {
-                sum += 1.0; // submitter
-                continue;
-            }
-            let prior: Vec<_> = votes[..k].iter().map(|p| p.user).collect();
-            let in_network = graph.is_fan_of_any(v.user, &prior);
-            sum += if in_network {
+        let mut state = PromoterState::Diversity {
+            weighted: 0.0,
+            applied: 0,
+        };
+        self.fold_new_votes(&mut state, story, graph)
+    }
+
+    /// Fold the votes `state` has not seen yet; returns the weighted
+    /// sum over the story's full current vote list. O(Σ friend-degree
+    /// of the *new* voters); the partial sums pass through exactly the
+    /// additions a from-scratch [`weighted_votes`](Self::weighted_votes)
+    /// performs, so folding in any number of installments yields the
+    /// identical f64.
+    fn fold_new_votes(&self, state: &mut PromoterState, story: &Story, graph: &SocialGraph) -> f64 {
+        let PromoterState::Diversity { weighted, applied } = state else {
+            // A mismatched state (another rule's, or stateless) can't
+            // be resumed: fold from scratch.
+            let mut fresh = PromoterState::Diversity {
+                weighted: 0.0,
+                applied: 0,
+            };
+            return self.fold_new_votes(&mut fresh, story, graph);
+        };
+        while *applied < story.votes.len() {
+            let k = *applied;
+            let v = &story.votes[k];
+            // `voted_before` is position-aware, so catching up on a
+            // story that grew by several votes still classifies vote
+            // k against exactly the k-prefix.
+            let in_network = k > 0
+                && graph
+                    .friends(v.user)
+                    .iter()
+                    .any(|&f| story.voted_before(f, k));
+            *weighted += if in_network {
                 self.in_network_weight
             } else {
-                1.0
+                1.0 // submitter or out-of-network voter
             };
+            *applied += 1;
         }
-        sum
+        *weighted
     }
 }
 
 impl Promoter for DiversityPromoter {
     fn should_promote(&self, story: &Story, graph: &SocialGraph, _now: Minute) -> bool {
         self.weighted_votes(story, graph) >= self.min_weighted
+    }
+
+    fn new_state(&self) -> PromoterState {
+        PromoterState::Diversity {
+            weighted: 0.0,
+            applied: 0,
+        }
+    }
+
+    fn should_promote_with(
+        &self,
+        state: &mut PromoterState,
+        story: &Story,
+        graph: &SocialGraph,
+        _now: Minute,
+    ) -> bool {
+        self.fold_new_votes(state, story, graph) >= self.min_weighted
     }
 
     fn name(&self) -> &'static str {
@@ -170,6 +263,118 @@ mod tests {
         let s = story_with_votes(&[1, 2]);
         assert_eq!(d.weighted_votes(&s, &g), 3.0);
         assert!(d.should_promote(&s, &g, Minute(5)));
+    }
+
+    #[test]
+    fn weighted_votes_bit_identical_to_prior_list_scan() {
+        // The pre-refactor definition: clone the prior-voter list per
+        // vote and ask is_fan_of_any. The friends-row probe must
+        // reproduce its f64 output bit for bit.
+        let reference = |d: &DiversityPromoter, story: &Story, graph: &SocialGraph| -> f64 {
+            let mut sum = 0.0;
+            for (k, v) in story.votes.iter().enumerate() {
+                if k == 0 {
+                    sum += 1.0;
+                    continue;
+                }
+                let prior: Vec<_> = story.votes[..k].iter().map(|p| p.user).collect();
+                sum += if graph.is_fan_of_any(v.user, &prior) {
+                    d.in_network_weight
+                } else {
+                    1.0
+                };
+            }
+            sum
+        };
+        // A denser graph than fan_graph: chains as well as the hub.
+        let mut b = GraphBuilder::new(8);
+        b.add_watch(UserId(1), UserId(0));
+        b.add_watch(UserId(2), UserId(0));
+        b.add_watch(UserId(3), UserId(2));
+        b.add_watch(UserId(5), UserId(4));
+        b.add_watch(UserId(6), UserId(5));
+        let g = b.build();
+        let d = DiversityPromoter {
+            min_weighted: 10.0,
+            in_network_weight: 0.3,
+        };
+        for voters in [
+            vec![],
+            vec![1u32],
+            vec![3, 2, 1],
+            vec![4, 5, 6, 1, 2, 3, 7],
+            vec![7, 6, 5, 4, 3, 2, 1],
+        ] {
+            let s = story_with_votes(&voters);
+            assert_eq!(
+                d.weighted_votes(&s, &g).to_bits(),
+                reference(&d, &s, &g).to_bits(),
+                "voters {voters:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_state_matches_batch_at_every_prefix() {
+        let g = fan_graph();
+        let d = DiversityPromoter {
+            min_weighted: 2.5,
+            in_network_weight: 0.25,
+        };
+        let mut s = Story::new(StoryId(0), UserId(0), Minute(0), 0.5);
+        let mut state = d.new_state();
+        // Check after every vote: the folded decision and running sum
+        // must equal a fresh batch recompute of the same story.
+        for (i, &v) in [1u32, 2, 3].iter().enumerate() {
+            s.add_vote(UserId(v), Minute(i as u64 + 1), VoteChannel::External);
+            let incr = d.should_promote_with(&mut state, &s, &g, Minute(10));
+            assert_eq!(incr, d.should_promote(&s, &g, Minute(10)), "after vote {v}");
+            let PromoterState::Diversity { weighted, applied } = state else {
+                panic!("diversity state expected");
+            };
+            assert_eq!(applied, s.votes.len());
+            assert_eq!(weighted.to_bits(), d.weighted_votes(&s, &g).to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_state_catches_up_over_multi_vote_gaps() {
+        let g = fan_graph();
+        let d = DiversityPromoter {
+            min_weighted: 99.0,
+            in_network_weight: 0.25,
+        };
+        // Apply all votes first, then fold once: the catch-up fold
+        // must classify each vote against its own prefix, not the
+        // final voter set.
+        let s = story_with_votes(&[3, 1, 2]);
+        let mut state = d.new_state();
+        d.should_promote_with(&mut state, &s, &g, Minute(10));
+        let PromoterState::Diversity { weighted, .. } = state else {
+            panic!("diversity state expected");
+        };
+        // 0 submits (1.0); 3 is nobody's fan (1.0); 1 and 2 are fans
+        // of 0 (0.25 each): in-network despite 3 voting between.
+        assert!((weighted - 2.5).abs() < 1e-12);
+        assert_eq!(weighted.to_bits(), d.weighted_votes(&s, &g).to_bits());
+    }
+
+    #[test]
+    fn stateless_rules_delegate_to_batch() {
+        let g = fan_graph();
+        let p = ThresholdPromoter { min_votes: 3 };
+        assert_eq!(p.new_state(), PromoterState::Stateless);
+        let s = story_with_votes(&[1, 2]);
+        let mut state = p.new_state();
+        assert!(p.should_promote_with(&mut state, &s, &g, Minute(10)));
+        assert_eq!(state, PromoterState::Stateless);
+        // A diversity fold handed the wrong state falls back cleanly.
+        let d = DiversityPromoter {
+            min_weighted: 3.0,
+            in_network_weight: 1.0,
+        };
+        let mut wrong = PromoterState::Stateless;
+        assert!(d.should_promote_with(&mut wrong, &s, &g, Minute(10)));
     }
 
     #[test]

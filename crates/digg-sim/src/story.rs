@@ -3,7 +3,8 @@
 use crate::time::Minute;
 use serde::{Deserialize, Serialize};
 use social_graph::UserId;
-use std::collections::HashSet;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a story, dense in submission order.
@@ -94,15 +95,19 @@ pub struct Story {
     pub votes: Vec<Vote>,
     /// Lifecycle state.
     pub status: StoryStatus,
+    /// Voter -> position of their vote in `votes`. Lookup-only (never
+    /// iterated), so the unordered map cannot leak nondeterminism;
+    /// serde skips it like the voter set it replaced, keeping the
+    /// serialized bytes unchanged.
     #[serde(skip)]
-    voter_set: HashSet<UserId>,
+    voter_pos: HashMap<UserId, usize>,
 }
 
 impl Story {
     /// Create a story; records the submitter's own implicit first vote.
     pub fn new(id: StoryId, submitter: UserId, at: Minute, quality: f64) -> Story {
-        let mut voter_set = HashSet::new();
-        voter_set.insert(submitter);
+        let mut voter_pos = HashMap::new();
+        voter_pos.insert(submitter, 0);
         Story {
             id,
             submitter,
@@ -114,7 +119,7 @@ impl Story {
                 channel: VoteChannel::External,
             }],
             status: StoryStatus::Upcoming,
-            voter_set,
+            voter_pos,
         }
     }
 
@@ -125,17 +130,33 @@ impl Story {
 
     /// Has `user` already voted?
     pub fn has_voted(&self, user: UserId) -> bool {
-        self.voter_set.contains(&user)
+        self.voter_pos.contains_key(&user)
+    }
+
+    /// Had `user` voted within the first `k` votes? Position-aware,
+    /// so incremental folds stay exact even while catching up on a
+    /// story that has since grown past `k`.
+    pub fn voted_before(&self, user: UserId, k: usize) -> bool {
+        self.voter_pos.get(&user).is_some_and(|&p| p < k)
+    }
+
+    /// Position of `user`'s vote in the chronological list (0 = the
+    /// submitter's implicit vote), if they voted.
+    pub fn vote_position(&self, user: UserId) -> Option<usize> {
+        self.voter_pos.get(&user).copied()
     }
 
     /// Record a vote. Returns `false` (and records nothing) if the
     /// user already voted.
     pub fn add_vote(&mut self, user: UserId, at: Minute, channel: VoteChannel) -> bool {
-        if !self.voter_set.insert(user) {
-            return false;
+        match self.voter_pos.entry(user) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                e.insert(self.votes.len());
+                self.votes.push(Vote { user, at, channel });
+                true
+            }
         }
-        self.votes.push(Vote { user, at, channel });
-        true
     }
 
     /// Story age at `now` in minutes.
@@ -185,10 +206,14 @@ impl Story {
         (f, p, u, e)
     }
 
-    /// Rebuild the internal voter set after deserialization (serde
-    /// skips it). Idempotent.
+    /// Rebuild the internal voter index after deserialization (serde
+    /// skips it). Idempotent; first vote wins should a hand-built
+    /// vote list contain duplicates.
     pub fn rebuild_index(&mut self) {
-        self.voter_set = self.votes.iter().map(|v| v.user).collect();
+        self.voter_pos.clear();
+        for (k, v) in self.votes.iter().enumerate() {
+            self.voter_pos.entry(v.user).or_insert(k);
+        }
     }
 }
 
@@ -248,6 +273,23 @@ mod tests {
         s.add_vote(UserId(3), Minute(101), VoteChannel::Upcoming);
         let (f, p, u, e) = s.channel_breakdown();
         assert_eq!((f, p, u, e), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn vote_positions_are_chronological() {
+        let mut s = story();
+        s.add_vote(UserId(1), Minute(105), VoteChannel::Upcoming);
+        s.add_vote(UserId(2), Minute(110), VoteChannel::Friends);
+        assert_eq!(s.vote_position(UserId(7)), Some(0));
+        assert_eq!(s.vote_position(UserId(1)), Some(1));
+        assert_eq!(s.vote_position(UserId(2)), Some(2));
+        assert_eq!(s.vote_position(UserId(9)), None);
+        // voted_before is a strict prefix test.
+        assert!(s.voted_before(UserId(1), 2));
+        assert!(!s.voted_before(UserId(1), 1));
+        assert!(!s.voted_before(UserId(2), 2));
+        assert!(s.voted_before(UserId(7), 1));
+        assert!(!s.voted_before(UserId(9), 99));
     }
 
     #[test]

@@ -141,20 +141,59 @@ impl SocialGraph {
     /// of any prior voter.
     ///
     /// Iterates the cheaper side: `O(|candidates| log d)` binary
-    /// searches for small candidate sets, and when `candidates` is
-    /// larger than `friends(a)` *and* happens to be sorted (verifying
-    /// that costs one `O(|candidates|)` scan, cheaper than the
-    /// searches it replaces), a sorted two-pointer intersection over
-    /// `friends(a)` in `O(d + |candidates|)`.
+    /// searches for small candidate sets; when `candidates` happens to
+    /// be sorted (verifying that costs one `O(|candidates|)` scan,
+    /// cheaper than the searches it replaces), either a sorted
+    /// two-pointer intersection over `friends(a)` in
+    /// `O(d + |candidates|)` when candidates outnumber friends, or —
+    /// when the friend list dwarfs the candidate set — a galloping
+    /// (exponential-search) merge that advances through `friends(a)`
+    /// in `O(|candidates| log(d / |candidates|))` without restarting
+    /// each search from the row head.
     pub fn is_fan_of_any(&self, a: UserId, candidates: &[UserId]) -> bool {
+        /// The friend row must outnumber sorted candidates by this
+        /// factor before galloping beats restarted binary searches.
+        const GALLOP_RATIO: usize = 8;
         let friends = self.friends(a);
-        if candidates.len() > friends.len() && candidates.windows(2).all(|w| w[0] <= w[1]) {
+        let sorted = candidates.len() > 1 && candidates.windows(2).all(|w| w[0] <= w[1]);
+        if sorted && candidates.len() > friends.len() {
             let (mut i, mut j) = (0, 0);
             while i < friends.len() && j < candidates.len() {
                 match friends[i].cmp(&candidates[j]) {
                     std::cmp::Ordering::Less => i += 1,
                     std::cmp::Ordering::Greater => j += 1,
                     std::cmp::Ordering::Equal => return true,
+                }
+            }
+            false
+        } else if sorted && friends.len() >= GALLOP_RATIO * candidates.len() {
+            // Galloping merge: both sides ascend, so each candidate's
+            // search can start where the previous one stopped. Steps
+            // double until the row overshoots the candidate, then a
+            // binary search settles the bracket.
+            let mut lo = 0usize;
+            for &c in candidates {
+                let mut step = 1usize;
+                let mut hi = lo;
+                while hi < friends.len() && friends[hi] < c {
+                    lo = hi + 1;
+                    hi = hi.saturating_add(step).min(friends.len());
+                    step <<= 1;
+                }
+                // Everything below `lo` is < c, and `hi` (when in
+                // range) satisfies friends[hi] >= c: c can only live
+                // in friends[lo..=hi].
+                let end = if hi < friends.len() {
+                    hi + 1
+                } else {
+                    friends.len()
+                };
+                match friends[lo..end].binary_search(&c) {
+                    Ok(_) => return true,
+                    Err(off) => lo += off,
+                }
+                if lo >= friends.len() {
+                    return false;
                 }
             }
             false
@@ -322,6 +361,51 @@ mod tests {
         assert!(g.is_fan_of_any(UserId(0), &unsorted));
         unsorted.retain(|&u| u != UserId(17) && u != UserId(30));
         assert!(!g.is_fan_of_any(UserId(0), &unsorted));
+    }
+
+    #[test]
+    fn fan_of_any_galloping_branch_agrees() {
+        // User 0 watches every even target in 2..=200: a friend row
+        // (100 entries) that dwarfs small sorted candidate sets, so
+        // 2..=12-element probes take the galloping branch
+        // (d >= 8 * |candidates|).
+        let mut b = GraphBuilder::new(256);
+        for t in (2u32..202).step_by(2) {
+            b.add_watch(UserId(0), UserId(t));
+        }
+        let g = b.build();
+        let friends = g.friends(UserId(0)).to_vec();
+        assert_eq!(friends.len(), 100);
+        let reference = |c: &[UserId]| c.iter().any(|&x| friends.binary_search(&x).is_ok());
+
+        // Hits at the row head, middle, and tail.
+        assert!(g.is_fan_of_any(UserId(0), &[UserId(2), UserId(3)]));
+        assert!(g.is_fan_of_any(UserId(0), &[UserId(97), UserId(100)]));
+        assert!(g.is_fan_of_any(UserId(0), &[UserId(199), UserId(200)]));
+        // Misses below, between, and past the row; duplicates too.
+        assert!(!g.is_fan_of_any(UserId(0), &[UserId(0), UserId(1)]));
+        assert!(!g.is_fan_of_any(UserId(0), &[UserId(1), UserId(99)]));
+        assert!(!g.is_fan_of_any(UserId(0), &[UserId(201), UserId(230)]));
+        assert!(!g.is_fan_of_any(UserId(0), &[UserId(3), UserId(3)]));
+        assert!(g.is_fan_of_any(UserId(0), &[UserId(4), UserId(4)]));
+        // Every small sorted window agrees with the binary-search
+        // reference on both sides of the gallop branch point
+        // (|candidates| from 2 up past d / GALLOP_RATIO = 12).
+        for width in [2usize, 3, 7, 12, 13, 20] {
+            for start in (0u32..230).step_by(3) {
+                let c: Vec<UserId> = (start..start + width as u32).map(UserId).collect();
+                assert_eq!(
+                    g.is_fan_of_any(UserId(0), &c),
+                    reference(&c),
+                    "width {width} start {start}"
+                );
+            }
+        }
+        // Sparse candidates force long gallops between hits.
+        let sparse: Vec<UserId> = [5u32, 61, 141, 195].map(UserId).to_vec();
+        assert!(!g.is_fan_of_any(UserId(0), &sparse));
+        let sparse_hit: Vec<UserId> = [5u32, 61, 141, 196].map(UserId).to_vec();
+        assert!(g.is_fan_of_any(UserId(0), &sparse_hit));
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   the `par_build` module and DESIGN.md §11).
 //! * [`visit`] — [`VisitBuffer`], an epoch-stamped user-set scratch
 //!   with O(1) clear for per-story sweeps.
+//! * [`probe`] — [`FanProbe`], the incremental fan-membership view
+//!   over CSR rows that the per-vote analytics state machine in
+//!   `digg-core` streams through (O(1) membership, O(fan-degree)
+//!   absorb per vote).
 //! * [`traversal`] — BFS, reachability, weakly connected components.
 //! * [`metrics`] — degree sequences, reciprocity, density, clustering.
 //! * [`temporal`] — dated fan links and as-of-date snapshot
@@ -49,6 +53,7 @@ pub mod id;
 pub mod io;
 pub mod metrics;
 pub(crate) mod par_build;
+pub mod probe;
 pub mod sampling;
 pub mod temporal;
 pub mod traversal;
@@ -57,4 +62,5 @@ pub mod visit;
 pub use builder::{CsrCapacityError, GraphBuilder};
 pub use graph::SocialGraph;
 pub use id::UserId;
+pub use probe::FanProbe;
 pub use visit::VisitBuffer;

@@ -1,0 +1,179 @@
+//! Incremental fan-membership probe over CSR rows.
+//!
+//! The vote-apply hot path of the analytics engine asks one question
+//! per vote — *is this voter inside the fan-union of everyone who
+//! voted before?* — and then folds the new voter's own fans into that
+//! union. [`FanProbe`] packages exactly that state: an epoch-stamped
+//! bitset ([`VisitBuffer`]) of reached users plus an absorb operation
+//! that streams one contiguous CSR fan row at a time, so a membership
+//! test is O(1) and absorbing a vote is O(fan-degree of the voter).
+//!
+//! `digg-core`'s `IncrementalSweep` (and through it the batch
+//! `StorySweeper`) is built on this view; the sorted-merge side of the
+//! membership family lives in [`SocialGraph::is_fan_of_any`], which
+//! answers the same question statelessly from a candidate list.
+
+use crate::graph::SocialGraph;
+use crate::id::UserId;
+use crate::visit::VisitBuffer;
+
+/// Reusable incremental membership state: the union of the fans of a
+/// growing set of "absorbed" users (for story analytics: the voters so
+/// far), with O(1) queries and O(1) reset.
+///
+/// # Examples
+///
+/// ```
+/// use social_graph::{FanProbe, GraphBuilder, UserId};
+///
+/// // User 1 watches user 0 (1 is a fan of 0).
+/// let mut b = GraphBuilder::new(3);
+/// b.add_watch(UserId(1), UserId(0));
+/// let g = b.build();
+///
+/// let mut probe = FanProbe::new(&g);
+/// assert!(!probe.contains(UserId(1)));
+/// probe.absorb_fans(&g, UserId(0), |_| {});
+/// assert!(probe.contains(UserId(1))); // 1 can now be reached
+/// probe.clear(); // O(1); ready for the next story
+/// assert!(!probe.contains(UserId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FanProbe {
+    reached: VisitBuffer,
+}
+
+impl FanProbe {
+    /// A probe sized for `graph`'s user count.
+    pub fn new(graph: &SocialGraph) -> FanProbe {
+        FanProbe::for_users(graph.user_count())
+    }
+
+    /// A probe covering users `0..n`.
+    pub fn for_users(n: usize) -> FanProbe {
+        FanProbe {
+            reached: VisitBuffer::new(n),
+        }
+    }
+
+    /// Number of users the probe covers.
+    pub fn capacity(&self) -> usize {
+        self.reached.capacity()
+    }
+
+    /// Grow the id space to at least `n` users (never shrinks).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        self.reached.ensure_capacity(n);
+    }
+
+    /// Number of distinct users currently reached.
+    pub fn len(&self) -> usize {
+        self.reached.len()
+    }
+
+    /// Is no user reached yet?
+    pub fn is_empty(&self) -> bool {
+        self.reached.is_empty()
+    }
+
+    /// Is `u` reached — a fan of any absorbed user? Out-of-capacity
+    /// ids are simply absent.
+    #[inline]
+    pub fn contains(&self, u: UserId) -> bool {
+        self.reached.contains(u)
+    }
+
+    /// Fold `v`'s fans into the reached set by streaming its CSR fan
+    /// row; `on_new` fires once per fan seen for the first time (the
+    /// hook audience accounting hangs off). O(fan-degree of `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for `graph` (ids come from the
+    /// graph) or if a fan id exceeds the probe's capacity.
+    #[inline]
+    pub fn absorb_fans(&mut self, graph: &SocialGraph, v: UserId, mut on_new: impl FnMut(UserId)) {
+        for &f in graph.fans(v) {
+            if self.reached.insert(f) {
+                on_new(f);
+            }
+        }
+    }
+
+    /// Reset to the empty state in O(1) (amortised — see
+    /// [`VisitBuffer::clear`]).
+    pub fn clear(&mut self) {
+        self.reached.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Fans: 0 <- {1, 2, 3}; 4 <- {2, 5}.
+    fn graph() -> SocialGraph {
+        let mut b = GraphBuilder::new(6);
+        for f in [1, 2, 3] {
+            b.add_watch(UserId(f), UserId(0));
+        }
+        for f in [2, 5] {
+            b.add_watch(UserId(f), UserId(4));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn absorb_reports_only_first_sightings() {
+        let g = graph();
+        let mut probe = FanProbe::new(&g);
+        let mut fresh = Vec::new();
+        probe.absorb_fans(&g, UserId(0), |u| fresh.push(u));
+        assert_eq!(fresh, vec![UserId(1), UserId(2), UserId(3)]);
+        assert_eq!(probe.len(), 3);
+        // 2 is already reached; only 5 is new from 4's row.
+        fresh.clear();
+        probe.absorb_fans(&g, UserId(4), |u| fresh.push(u));
+        assert_eq!(fresh, vec![UserId(5)]);
+        assert_eq!(probe.len(), 4);
+        assert!(probe.contains(UserId(2)));
+        assert!(!probe.contains(UserId(0)));
+    }
+
+    #[test]
+    fn clear_is_a_full_reset() {
+        let g = graph();
+        let mut probe = FanProbe::new(&g);
+        probe.absorb_fans(&g, UserId(0), |_| {});
+        assert!(!probe.is_empty());
+        probe.clear();
+        assert!(probe.is_empty());
+        assert!(!probe.contains(UserId(1)));
+        // Reusable after the reset.
+        probe.absorb_fans(&g, UserId(4), |_| {});
+        assert!(probe.contains(UserId(5)));
+        assert!(!probe.contains(UserId(1)));
+    }
+
+    #[test]
+    fn capacity_grows_but_never_shrinks() {
+        let mut probe = FanProbe::for_users(2);
+        assert_eq!(probe.capacity(), 2);
+        probe.ensure_capacity(8);
+        assert_eq!(probe.capacity(), 8);
+        probe.ensure_capacity(4);
+        assert_eq!(probe.capacity(), 8);
+        assert!(!probe.contains(UserId(20)));
+    }
+
+    #[test]
+    fn users_with_no_fans_absorb_to_nothing() {
+        let g = graph();
+        let mut probe = FanProbe::new(&g);
+        let mut called = false;
+        probe.absorb_fans(&g, UserId(1), |_| called = true);
+        assert!(!called);
+        assert!(probe.is_empty());
+    }
+}
