@@ -28,6 +28,11 @@
 //!   `IncrementalSweep::apply_vote` against a re-sweep-every-vote
 //!   batch baseline on the same scaled graph, with checkpoint
 //!   equality enforced and the speedup recorded as `scale` rows.
+//! * [`checkpoint`] — the `checkpoint_sweep` experiment: the
+//!   fault-tolerant multi-process sweep runner killed mid-run and
+//!   recovered from `digg-snapshot` checkpoints, with the recovered
+//!   rows byte-compared to a clean sweep, plus checkpoint-overhead
+//!   and snapshot encode/decode rates at `DIGG_CHECKPOINT_USERS`.
 //! * `benches/*` — Criterion benches. `figures.rs` times every
 //!   analysis that regenerates a figure (on a shared synthesized
 //!   dataset); `perf.rs` times the substrates (graph ops, simulator
@@ -42,6 +47,7 @@
 
 pub mod ablations;
 pub mod baseline;
+pub mod checkpoint;
 pub mod degradation;
 pub mod incr;
 pub mod registry;

@@ -379,6 +379,13 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         },
     },
     ExperimentSpec {
+        name: "checkpoint_sweep",
+        about: "kill-and-recover supervised sweep (byte-identity) + checkpoint overhead + snapshot scale",
+        runner: Runner::Standalone {
+            run: crate::checkpoint::run_checkpoint_sweep,
+        },
+    },
+    ExperimentSpec {
         name: "degradation_sweep",
         about: "predictor precision/recall decay vs injected scrape-fault rates",
         runner: Runner::Standalone {

@@ -5,8 +5,10 @@
 //!
 //! * `sim_sweep` — checks the event-driven [`Sim`] (Compat kernel)
 //!   against the seed tick loop ([`TickSim`]) metric-for-metric on
-//!   several seeds, runs a toy scenario grid through
-//!   [`digg_sim::sweep::run_sweep`], and times both kernels against
+//!   several seeds, shards a toy scenario grid through the supervised
+//!   runner [`digg_sim::supervisor::run_sweep_supervised`] (subprocess
+//!   `sweep_worker`s when the binary is present, the bit-identical
+//!   in-process path otherwise), and times both kernels against
 //!   the tick loop on a *sparse* long-horizon scenario where skipping
 //!   idle minutes pays (recorded as a baseline row in
 //!   `bench_summary.json`).
@@ -31,7 +33,8 @@ use crate::timing::time_ms;
 use digg_epidemics::{cascade_model, des};
 use digg_sim::baseline::TickSim;
 use digg_sim::population::{Population, PopulationConfig};
-use digg_sim::sweep::{try_run_sweep, CellOutcome, ScenarioRun, ScenarioSpec};
+use digg_sim::supervisor::{run_sweep_supervised, SupervisorConfig};
+use digg_sim::sweep::{CellOutcome, ScenarioRun, ScenarioSpec};
 use digg_sim::{Kernel, Sim, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -107,8 +110,19 @@ pub fn sim_sweep_specs() -> Vec<ScenarioSpec> {
 }
 
 /// Run the tick-loop equivalence checks and the scenario grid with an
-/// explicit thread count. Contains no timings by construction.
+/// explicit thread count (in-process supervisor shards). Contains no
+/// timings by construction.
 pub fn sim_sweep_payload(seed: u64, threads: usize) -> SimSweepPayload {
+    sim_sweep_payload_with(seed, &SupervisorConfig::in_process(threads))
+}
+
+/// [`sim_sweep_payload`] under an explicit [`SupervisorConfig`] — the
+/// grid goes through [`run_sweep_supervised`], so the experiment binary
+/// shards it across `sweep_worker` subprocesses when the binary is
+/// available, while library tests drive the identical in-process path.
+/// The payload is worker-mode invariant: subprocess and in-process
+/// sweeps serialize byte-identically.
+pub fn sim_sweep_payload_with(seed: u64, sup: &SupervisorConfig) -> SimSweepPayload {
     let minutes = 480;
     let equivalence = (0..3)
         .map(|i| {
@@ -129,12 +143,13 @@ pub fn sim_sweep_payload(seed: u64, threads: usize) -> SimSweepPayload {
         })
         .collect();
     let seeds: Vec<u64> = (0..3).map(|i| seed.wrapping_add(100 + i)).collect();
-    // The panic-isolated runner: a poisoned cell would cost only its
-    // own grid slot, reported in `panicked`, not the whole experiment.
-    let outcomes = match try_run_sweep(&sim_sweep_specs(), &seeds, threads) {
+    // The panic-isolated supervised runner: a poisoned cell costs only
+    // its own grid slot, reported in `panicked`, not the whole
+    // experiment — whether the cell ran in-process or in a subprocess.
+    let outcomes = match run_sweep_supervised(&sim_sweep_specs(), &seeds, sup) {
         Ok(outcomes) => outcomes,
-        // digg-lint: allow(no-lib-unwrap) — re-raise of an aggregated WorkerPanic: a panic outside the guarded cell is a harness bug
-        Err(e) => panic!("sim_sweep worker panicked outside its cell: {e}"),
+        // digg-lint: allow(no-lib-unwrap) — a SweepError is a harness failure (dead worker pipes, bad config), not a scenario result
+        Err(e) => panic!("sim_sweep supervisor failed: {e}"),
     };
     let mut runs = Vec::new();
     let mut panicked = Vec::new();
@@ -206,10 +221,25 @@ fn sparse_kernel_timing(seed: u64) -> (BaselineRecord, u64) {
     )
 }
 
-/// The `sim_sweep` standalone experiment.
+/// The `sim_sweep` standalone experiment. Shards the grid across
+/// `sweep_worker` subprocesses when the binary is available (the
+/// experiment binaries build it as a sibling), falling back to the
+/// bit-identical in-process supervisor path otherwise.
 pub fn run_sim_sweep(seed: u64) -> (Vec<Artifact>, usize) {
     let threads = digg_core::worker_threads();
-    let (payload, sweep_ms) = time_ms(|| sim_sweep_payload(seed, threads));
+    let sup = match crate::checkpoint::sweep_worker_cmd() {
+        Some(cmd) => SupervisorConfig {
+            worker_cmd: Some(cmd),
+            ..SupervisorConfig::in_process(threads)
+        },
+        None => SupervisorConfig::in_process(threads),
+    };
+    let mode = if sup.worker_cmd.is_some() {
+        "subprocess workers"
+    } else {
+        "in-process shards"
+    };
+    let (payload, sweep_ms) = time_ms(|| sim_sweep_payload_with(seed, &sup));
     let scenarios = payload.runs.len();
     let (sparse, sparse_minutes) = sparse_kernel_timing(seed);
 
@@ -231,7 +261,7 @@ pub fn run_sim_sweep(seed: u64) -> (Vec<Artifact>, usize) {
         ));
     }
     rendered.push_str(&format!(
-        "swept {scenarios} scenarios in {sweep_ms:.1} ms on {threads} threads ({:.1} scenarios/sec)\n",
+        "swept {scenarios} scenarios in {sweep_ms:.1} ms on {threads} {mode} ({:.1} scenarios/sec)\n",
         scenarios as f64 / (sweep_ms / 1e3).max(1e-9)
     ));
     for r in &payload.runs {

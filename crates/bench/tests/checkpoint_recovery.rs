@@ -1,0 +1,125 @@
+//! End-to-end recovery drill against the real `sweep_worker` binary:
+//! the supervisor shards a grid across subprocesses, a deterministic
+//! kill plan makes every worker die right after one of its
+//! checkpoints, and the recovered sweep must serialize byte-identical
+//! to an uninterrupted one. This is the tentpole property of the
+//! checkpoint/replay stack (DESIGN.md §15) exercised across a true
+//! process boundary — JSON frames, respawns, snapshot files and all.
+
+use digg_data::SweepKillPlan;
+use digg_sim::population::PopulationConfig;
+use digg_sim::supervisor::{run_sweep_supervised, SupervisorConfig};
+use digg_sim::sweep::{run_scenario, ScenarioSpec};
+use digg_sim::{Kernel, SimConfig};
+
+fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_sweep_worker").to_string()]
+}
+
+fn small_specs() -> Vec<ScenarioSpec> {
+    let mut quiet = SimConfig::toy(0);
+    quiet.submissions_per_minute = 0.05;
+    vec![
+        ScenarioSpec {
+            name: "toy-compat".into(),
+            cfg: SimConfig::toy(0),
+            pop_cfg: PopulationConfig::toy(400),
+            kernel: Kernel::Compat,
+            minutes: 240,
+        },
+        ScenarioSpec {
+            name: "toy-streams".into(),
+            cfg: quiet,
+            pop_cfg: PopulationConfig::toy(400),
+            kernel: Kernel::EventStreams,
+            minutes: 240,
+        },
+    ]
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("digg-ckpt-recovery-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn subprocess_sweep_matches_in_process_runs() {
+    let specs = small_specs();
+    let seeds = [11u64, 12];
+    let cfg = SupervisorConfig {
+        worker_cmd: Some(worker_cmd()),
+        ..SupervisorConfig::in_process(2)
+    };
+    let outcomes = run_sweep_supervised(&specs, &seeds, &cfg).unwrap();
+    assert_eq!(outcomes.len(), 4);
+    let mut expected = Vec::new();
+    for spec in &specs {
+        for &s in &seeds {
+            expected.push(run_scenario(spec, s));
+        }
+    }
+    for (o, want) in outcomes.iter().zip(&expected) {
+        assert_eq!(o.run(), Some(want));
+    }
+}
+
+#[test]
+fn killed_workers_recover_to_byte_identical_rows() {
+    let specs = small_specs();
+    let seeds = [21u64, 22];
+    let cells = specs.len() * seeds.len();
+
+    let clean_dir = temp_dir("clean");
+    let clean_cfg = SupervisorConfig::subprocess(worker_cmd(), 2, 150, clean_dir.clone());
+    let clean = run_sweep_supervised(&specs, &seeds, &clean_cfg).unwrap();
+
+    // Every cell's worker dies after its first or second checkpoint.
+    let plan = SweepKillPlan::kill_all(7, 2);
+    let kills = plan.kills(cells);
+    assert_eq!(kills.iter().flatten().count(), cells, "kill_all must kill");
+    let killed_dir = temp_dir("killed");
+    let killed_cfg = SupervisorConfig {
+        kill_after_checkpoints: kills,
+        ..SupervisorConfig::subprocess(worker_cmd(), 2, 150, killed_dir.clone())
+    };
+    let recovered = run_sweep_supervised(&specs, &seeds, &killed_cfg).unwrap();
+
+    assert_eq!(recovered, clean);
+    assert_eq!(
+        serde_json::to_string(&recovered).unwrap(),
+        serde_json::to_string(&clean).unwrap(),
+        "recovered sweep rows are not byte-identical to the clean sweep"
+    );
+    // And both match straight single-process runs of the same cells.
+    let mut k = 0;
+    for spec in &specs {
+        for &s in &seeds {
+            assert_eq!(recovered[k].run(), Some(&run_scenario(spec, s)));
+            k += 1;
+        }
+    }
+    // Checkpoint files were consumed and removed on the way out.
+    for dir in [clean_dir, killed_dir] {
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .map(|rd| rd.filter_map(|e| e.ok()).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "leftover checkpoints: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn respawn_budget_exhaustion_is_a_typed_error() {
+    // A kill at every checkpoint index the budget allows: the worker
+    // dies on the first attempt, resumes clean afterwards — so to
+    // force exhaustion the budget must be zero.
+    let specs = small_specs();
+    let dir = temp_dir("exhaust");
+    let mut cfg = SupervisorConfig::subprocess(worker_cmd(), 1, 150, dir.clone());
+    cfg.max_respawns = 0;
+    cfg.kill_after_checkpoints = vec![Some(1)];
+    match run_sweep_supervised(&specs[..1], &[31], &cfg) {
+        Err(digg_sim::supervisor::SweepError::WorkerExhausted { cell: 0, .. }) => {}
+        other => panic!("expected WorkerExhausted, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

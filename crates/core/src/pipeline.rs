@@ -18,6 +18,7 @@ use digg_data::{DiggDataset, StoryRecord};
 use digg_ml::c45::C45Params;
 use digg_ml::crossval::CrossValResult;
 use digg_ml::ConfusionMatrix;
+use digg_snapshot::{ByteWriter, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use serde::{Deserialize, Serialize};
 use social_graph::SocialGraph;
 
@@ -97,6 +98,57 @@ impl StoryPrefixes {
     /// Full scraped voter-list length (submitter included).
     pub fn scraped_votes(&self) -> usize {
         self.scraped_votes
+    }
+}
+
+impl Snapshot for StoryPrefixes {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut c = SnapshotWriter::new();
+        let mut w = ByteWriter::new();
+        w.put_usize(self.fans1);
+        w.put_usize(self.scraped_votes);
+        w.put_usize(self.cascade.len());
+        for &v in &self.cascade {
+            w.put_usize(v);
+        }
+        c.section("prefixes", w.into_bytes());
+        c.finish()
+    }
+}
+
+impl Restore for StoryPrefixes {
+    type Context<'a> = ();
+
+    fn restore(bytes: &[u8], _ctx: ()) -> Result<StoryPrefixes, SnapshotError> {
+        let c = SnapshotReader::parse(bytes)?;
+        let mut r = c.section_reader("prefixes")?;
+        let fans1 = r.get_usize()?;
+        let scraped_votes = r.get_usize()?;
+        let n = r.get_usize()?;
+        // The sweep window is min(len, 21) voters → at most 20
+        // post-submitter cascade entries, never more than the list.
+        if n > 20 || n > scraped_votes.saturating_sub(1) {
+            return Err(SnapshotError::Malformed(format!(
+                "{n} cascade entries for {scraped_votes} scraped votes"
+            )));
+        }
+        let mut cascade = Vec::with_capacity(n);
+        let mut prev = 0usize;
+        for _ in 0..n {
+            let v = r.get_usize()?;
+            if v < prev {
+                return Err(SnapshotError::Malformed(
+                    "cascade counts must be non-decreasing".into(),
+                ));
+            }
+            prev = v;
+            cascade.push(v);
+        }
+        Ok(StoryPrefixes {
+            cascade,
+            fans1,
+            scraped_votes,
+        })
     }
 }
 
@@ -507,6 +559,31 @@ mod tests {
                     r.story
                 );
             }
+        }
+    }
+
+    #[test]
+    fn story_prefixes_snapshot_round_trips() {
+        let ds = toy_dataset();
+        for r in ds.front_page.iter().chain(&ds.upcoming) {
+            let p = StoryPrefixes::compute(r, &ds.network);
+            let bytes = p.snapshot();
+            let q = StoryPrefixes::restore(&bytes, ()).expect("restore");
+            assert_eq!(p, q);
+            assert_eq!(q.snapshot(), bytes);
+            for k in 0..=r.voters.len() + 1 {
+                assert_eq!(p.features_at(k), q.features_at(k));
+            }
+        }
+        // Decreasing cascade counts are rejected, not trusted.
+        let bad = StoryPrefixes {
+            cascade: vec![3, 1],
+            fans1: 5,
+            scraped_votes: 10,
+        };
+        match StoryPrefixes::restore(&bad.snapshot(), ()) {
+            Err(SnapshotError::Malformed(_)) => {}
+            other => panic!("expected Malformed, got {other:?}"),
         }
     }
 

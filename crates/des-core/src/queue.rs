@@ -17,6 +17,9 @@
 //! popped heap entry whose seq no longer matches is a tombstone,
 //! skipped silently.
 
+use digg_snapshot::{
+    ByteWriter, Codec, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
@@ -46,7 +49,9 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<(u64, u8, u64, EventId)>>,
     /// HashMap is safe here (determinism audit, DESIGN.md §13): it is
     /// only ever keyed lookups/removals driven by the heap's total
-    /// order — nothing iterates it.
+    /// order — nothing iterates it, and the snapshot path below sorts
+    /// live events by (time, class, seq) before encoding.
+    // digg-lint: allow(no-unordered-serialize) — snapshot encodes live events in (time, class, seq) order, never map order
     live: HashMap<u64, LiveEvent<T>>,
     next_id: u64,
     next_seq: u64,
@@ -151,6 +156,80 @@ impl<T> EventQueue<T> {
     }
 }
 
+impl<T: Codec> Snapshot for EventQueue<T> {
+    /// Serialized: live events (with their original ids and seqs, so a
+    /// restored queue honours outstanding [`EventId`] handles and keeps
+    /// FIFO ties exactly), `next_id`, `next_seq`. Dropped: tombstoned
+    /// heap entries — they are unobservable, and skipping them keeps
+    /// snapshots proportional to *live* events.
+    fn snapshot(&self) -> Vec<u8> {
+        // Heap iteration order is arbitrary; filter to seq-matching
+        // (live) entries and sort by the queue's own total order.
+        let mut entries: Vec<(u64, u8, u64, u64, &T)> = self
+            .heap
+            .iter()
+            .filter_map(|&Reverse((time, class, seq, id))| {
+                self.live
+                    .get(&id.0)
+                    .filter(|e| e.seq == seq)
+                    .map(|e| (time, class, seq, id.0, &e.payload))
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(time, class, seq, id, _)| (time, class, seq, id));
+        let mut w = ByteWriter::new();
+        w.put_u64(self.next_id);
+        w.put_u64(self.next_seq);
+        w.put_usize(entries.len());
+        for (time, class, seq, id, payload) in entries {
+            w.put_u64(time);
+            w.put_u8(class);
+            w.put_u64(seq);
+            w.put_u64(id);
+            payload.encode(&mut w);
+        }
+        let mut container = SnapshotWriter::new();
+        container.section("events", w.into_bytes());
+        container.finish()
+    }
+}
+
+impl<T: Codec> Restore for EventQueue<T> {
+    type Context<'a> = ();
+
+    fn restore(bytes: &[u8], _ctx: ()) -> Result<EventQueue<T>, SnapshotError> {
+        let reader = SnapshotReader::parse(bytes)?;
+        let mut r = reader.section_reader("events")?;
+        let next_id = r.get_u64()?;
+        let next_seq = r.get_u64()?;
+        let count = r.get_usize()?;
+        let mut q = EventQueue::new();
+        for _ in 0..count {
+            let time = r.get_u64()?;
+            let class = r.get_u8()?;
+            let seq = r.get_u64()?;
+            let id = r.get_u64()?;
+            let payload = T::decode(&mut r)?;
+            if id >= next_id || seq >= next_seq {
+                return Err(SnapshotError::Malformed(format!(
+                    "event id {id}/seq {seq} not below next_id {next_id}/next_seq {next_seq}"
+                )));
+            }
+            if q.live.insert(id, LiveEvent { seq, payload }).is_some() {
+                return Err(SnapshotError::Malformed(format!("duplicate event id {id}")));
+            }
+            q.heap.push(Reverse((time, class, seq, EventId(id))));
+        }
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Malformed(
+                "trailing bytes after event list".into(),
+            ));
+        }
+        q.next_id = next_id;
+        q.next_seq = next_seq;
+        Ok(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +297,91 @@ mod tests {
         assert_eq!((b.time, b.payload), (7, "b"));
         assert_eq!(q.peek_time(), None);
         assert!(q.is_empty());
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct P(u64);
+
+    impl Codec for P {
+        fn encode(&self, out: &mut ByteWriter) {
+            out.put_u64(self.0);
+        }
+
+        fn decode(r: &mut digg_snapshot::ByteReader<'_>) -> Result<P, SnapshotError> {
+            Ok(P(r.get_u64()?))
+        }
+    }
+
+    fn drain_p(q: &mut EventQueue<P>) -> Vec<(u64, u8, EventId, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push((e.time, e.class, e.id, e.payload.0));
+        }
+        out
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_order_ids_and_handles() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(5, 1, P(50));
+        let b = q.schedule(3, 0, P(30));
+        let c = q.schedule(3, 0, P(31));
+        q.schedule(1, 0, P(10));
+        q.cancel(b);
+        q.reschedule(a, 3, 0); // re-enters FIFO after c
+        q.pop(); // fires (1, 0, P(10))
+
+        let bytes = q.snapshot();
+        let mut restored: EventQueue<P> = EventQueue::restore(&bytes, ()).unwrap();
+        assert_eq!(restored.len(), q.len());
+        // Outstanding handles keep working against the restored queue.
+        assert!(restored.reschedule(c, 9, 2));
+        assert!(q.reschedule(c, 9, 2));
+        assert_eq!(drain_p(&mut restored), drain_p(&mut q));
+        // Id allocation continues where the original left off.
+        assert_eq!(restored.schedule(0, 0, P(0)), q.schedule(0, 0, P(0)));
+    }
+
+    #[test]
+    fn snapshot_drops_tombstones() {
+        let mut q = EventQueue::new();
+        for i in 0..64u64 {
+            let id = q.schedule(i, 0, P(i));
+            if i % 2 == 0 {
+                q.cancel(id);
+            }
+        }
+        let full = q.snapshot();
+        // A queue that never had the cancelled events at all encodes a
+        // payload of the same size: tombstones cost nothing.
+        let live_events = q.len();
+        let restored: EventQueue<P> = EventQueue::restore(&full, ()).unwrap();
+        assert_eq!(restored.len(), live_events);
+        let again = restored.snapshot();
+        assert_eq!(full, again, "snapshot of a restore is byte-identical");
+    }
+
+    #[test]
+    fn restore_rejects_malformed_counters() {
+        let q = {
+            let mut q = EventQueue::new();
+            q.schedule(1, 0, P(1));
+            q
+        };
+        let bytes = q.snapshot();
+        // Rewrite the container with next_id/next_seq zeroed: the live
+        // event's id/seq now exceed the counters.
+        let reader = SnapshotReader::parse(&bytes).unwrap();
+        let payload = reader.section("events").unwrap();
+        let mut forged = payload.to_vec();
+        forged[..16].fill(0);
+        let mut w = SnapshotWriter::new();
+        w.section("events", forged);
+        match EventQueue::<P>::restore(&w.finish(), ()) {
+            Err(SnapshotError::Malformed(_)) => {}
+            Err(other) => panic!("expected Malformed, got {other}"),
+            Ok(_) => panic!("forged counters restored"),
+        }
     }
 
     #[test]

@@ -49,8 +49,10 @@ pub fn describe(rule: &str) -> &'static str {
              typed error or justify with a pragma"
         }
         NO_UNORDERED_SERIALIZE => {
-            "HashMap/HashSet field in a #[derive(Serialize)] item; serialized artifacts must \
-             use BTreeMap or a sorted Vec so bytes are iteration-order independent"
+            "HashMap/HashSet field in a #[derive(Serialize)] item or a type implementing the \
+             digg_snapshot::Snapshot trait; serialized artifacts and snapshots must use \
+             BTreeMap, a sorted Vec, or encode in an explicit order so bytes are \
+             iteration-order independent"
         }
         NO_TRUNCATING_CAST => {
             "narrowing `as` cast to a <=32-bit integer; use try_into or a checked-id helper \
@@ -140,17 +142,24 @@ pub fn check(map: &SourceMap, scope: Scope, raw_lines: &[&str]) -> Vec<Violation
             }
         }
 
-        if map.in_serialize.get(idx).copied().unwrap_or(false)
+        let in_serialize = map.in_serialize.get(idx).copied().unwrap_or(false);
+        let in_snapshot = map.in_snapshot.get(idx).copied().unwrap_or(false);
+        if (in_serialize || in_snapshot)
             && (has_token(code, "HashMap") || has_token(code, "HashSet"))
         {
             // A `#[serde(skip)]`-annotated field (attribute on the same
             // or the preceding line) never reaches the serialized
-            // bytes, so its iteration order is unobservable.
-            let skipped = code.contains("serde(skip")
-                || idx
-                    .checked_sub(1)
-                    .and_then(|p| map.code.get(p))
-                    .is_some_and(|prev| prev.contains("serde(skip"));
+            // bytes, so its iteration order is unobservable. That
+            // exemption does NOT extend to Snapshot-implementing types:
+            // a hand-written `snapshot()` sees every field regardless
+            // of serde attributes, so an exemption there needs a
+            // pragma naming the ordering argument.
+            let skipped = !in_snapshot
+                && (code.contains("serde(skip")
+                    || idx
+                        .checked_sub(1)
+                        .and_then(|p| map.code.get(p))
+                        .is_some_and(|prev| prev.contains("serde(skip")));
             if !skipped {
                 push(NO_UNORDERED_SERIALIZE);
             }
@@ -260,6 +269,25 @@ mod tests {
         assert!(check_src(src, lib_scope()).is_empty());
         let inline = "#[derive(Serialize)]\nstruct S {\n    #[serde(skip)] m: HashSet<u32>,\n}";
         assert!(check_src(inline, lib_scope()).is_empty());
+    }
+
+    #[test]
+    fn snapshot_impl_with_hashmap_fires() {
+        let src = "struct Q {\n    m: HashMap<u64, u64>,\n}\nimpl Snapshot for Q {\n    fn snapshot(&self) -> Vec<u8> { Vec::new() }\n}";
+        let v = check_src(src, lib_scope());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, NO_UNORDERED_SERIALIZE);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn serde_skip_does_not_exempt_snapshot_types() {
+        // serde(skip) keeps a field out of serde bytes, but a
+        // hand-written snapshot() still sees it.
+        let src = "#[derive(Serialize)]\nstruct Q {\n    #[serde(skip)]\n    m: HashSet<u32>,\n}\nimpl Snapshot for Q {}";
+        let v = check_src(src, lib_scope());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, NO_UNORDERED_SERIALIZE);
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! Fixture: hash-ordered container reaching serialized bytes.
+//! Fixture: hash-ordered container reaching serialized bytes — via a
+//! serde derive and via a hand-written Snapshot impl. `#[serde(skip)]`
+//! exempts nothing in a Snapshot type: the snapshot encoder sees every
+//! field regardless of serde attributes.
 
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
@@ -7,4 +10,26 @@ use std::collections::{HashMap, HashSet};
 pub struct Artifact {
     pub per_user: HashMap<u32, u64>,
     pub flagged: HashSet<u32>,
+}
+
+pub struct Journal {
+    pub seen: HashSet<u64>,
+}
+
+impl digg_snapshot::Snapshot for Journal {
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+#[derive(Serialize)]
+pub struct Hybrid {
+    #[serde(skip)]
+    pub scratch: HashMap<u32, u64>,
+}
+
+impl digg_snapshot::Snapshot for Hybrid {
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
 }

@@ -5,6 +5,7 @@
 //! [`crate::scenario::june2006`]; tests assert the emergent statistics
 //! rather than these inputs.
 
+use digg_snapshot::{ByteReader, ByteWriter, Codec, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Which promotion algorithm the platform runs. See
@@ -288,9 +289,134 @@ impl SimConfig {
     }
 }
 
+impl Codec for PromoterKind {
+    fn encode(&self, out: &mut ByteWriter) {
+        match *self {
+            PromoterKind::Threshold { min_votes } => {
+                out.put_u8(0);
+                out.put_usize(min_votes);
+            }
+            PromoterKind::Diversity {
+                min_weighted,
+                in_network_weight,
+            } => {
+                out.put_u8(1);
+                out.put_f64(min_weighted);
+                out.put_f64(in_network_weight);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<PromoterKind, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(PromoterKind::Threshold {
+                min_votes: r.get_usize()?,
+            }),
+            1 => Ok(PromoterKind::Diversity {
+                min_weighted: r.get_f64()?,
+                in_network_weight: r.get_f64()?,
+            }),
+            t => Err(SnapshotError::Malformed(format!("promoter kind tag {t}"))),
+        }
+    }
+}
+
+/// Binary checkpoint encoding: every field in declaration order, floats
+/// as bit patterns. Adding/removing/reordering fields is a container
+/// format change — bump `digg_snapshot::FORMAT_VERSION` with it.
+impl Codec for SimConfig {
+    fn encode(&self, out: &mut ByteWriter) {
+        out.put_u64(self.seed);
+        out.put_f64(self.submissions_per_minute);
+        out.put_f64(self.high_quality_fraction);
+        out.put_f64(self.high_quality_skill);
+        out.put_f64(self.skill_activity_ref);
+        out.put_f64(self.niche_quality_mu);
+        out.put_f64(self.niche_quality_sigma);
+        out.put_f64(self.broad_quality_min);
+        out.put_u64(self.queue_lifetime);
+        out.put_usize(self.page_size);
+        self.promoter.encode(out);
+        out.put_f64(self.frontpage_sessions_per_minute);
+        out.put_f64(self.frontpage_vote_prob);
+        out.put_f64(self.novelty_tau);
+        out.put_f64(self.upcoming_sessions_per_minute);
+        out.put_f64(self.upcoming_vote_prob);
+        out.put_f64(self.page_stop_prob);
+        out.put_f64(self.external_rate);
+        out.put_u64(self.external_window);
+        out.put_f64(self.fan_exposure_prob);
+        out.put_f64(self.attention_ref);
+        out.put_f64(self.feed_dilution);
+        out.put_f64(self.submitted_dilution);
+        out.put_f64(self.fan_exposure_delay_mean);
+        out.put_u64(self.feed_lifetime);
+        out.put_f64(self.friend_vote_submitted);
+        out.put_f64(self.friend_vote_base);
+        out.put_f64(self.friend_vote_quality_slope);
+        out.put_usize(self.users);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<SimConfig, SnapshotError> {
+        Ok(SimConfig {
+            seed: r.get_u64()?,
+            submissions_per_minute: r.get_f64()?,
+            high_quality_fraction: r.get_f64()?,
+            high_quality_skill: r.get_f64()?,
+            skill_activity_ref: r.get_f64()?,
+            niche_quality_mu: r.get_f64()?,
+            niche_quality_sigma: r.get_f64()?,
+            broad_quality_min: r.get_f64()?,
+            queue_lifetime: r.get_u64()?,
+            page_size: r.get_usize()?,
+            promoter: PromoterKind::decode(r)?,
+            frontpage_sessions_per_minute: r.get_f64()?,
+            frontpage_vote_prob: r.get_f64()?,
+            novelty_tau: r.get_f64()?,
+            upcoming_sessions_per_minute: r.get_f64()?,
+            upcoming_vote_prob: r.get_f64()?,
+            page_stop_prob: r.get_f64()?,
+            external_rate: r.get_f64()?,
+            external_window: r.get_u64()?,
+            fan_exposure_prob: r.get_f64()?,
+            attention_ref: r.get_f64()?,
+            feed_dilution: r.get_f64()?,
+            submitted_dilution: r.get_f64()?,
+            fan_exposure_delay_mean: r.get_f64()?,
+            feed_lifetime: r.get_u64()?,
+            friend_vote_submitted: r.get_f64()?,
+            friend_vote_base: r.get_f64()?,
+            friend_vote_quality_slope: r.get_f64()?,
+            users: r.get_usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn codec_roundtrip_is_exact() {
+        for cfg in [
+            SimConfig::toy(5),
+            SimConfig {
+                promoter: PromoterKind::Diversity {
+                    min_weighted: 9.5,
+                    in_network_weight: 0.25,
+                },
+                ..SimConfig::toy(11)
+            },
+        ] {
+            let mut w = ByteWriter::new();
+            cfg.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let back = SimConfig::decode(&mut r).unwrap();
+            assert!(r.is_exhausted());
+            assert_eq!(back, cfg);
+        }
+    }
 
     #[test]
     fn toy_config_is_valid() {

@@ -44,10 +44,14 @@ use crate::queue::UpcomingQueue;
 use crate::story::{Story, StoryId, StoryStatus, VoteChannel};
 use crate::time::Minute;
 use des_core::{EventQueue, StreamRng};
+use digg_snapshot::{
+    ByteReader, ByteWriter, Codec, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use digg_stats::distributions::{coin, exponential, poisson, LogNormal};
 use digg_stats::sampling::AliasTable;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
 use social_graph::UserId;
 use std::collections::HashSet;
 
@@ -72,7 +76,7 @@ const SALT_EXPOSE_SCHED: u64 = 8;
 const SALT_EXPOSE_FIRE: u64 = 9;
 
 /// Which driver produces the randomness and arrival structure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Kernel {
     /// Tick-loop replay: one `StdRng` consumed in the seed loop's call
     /// order through per-minute heartbeat events. Byte-identical to
@@ -149,7 +153,9 @@ pub struct Sim {
     events: EventQueue<Ev>,
     /// `(fan, story)` pairs ever offered an exposure, to collapse
     /// duplicate entries from multiple friends (the interface shows a
-    /// story once).
+    /// story once). Membership-only; the snapshot path sorts the pairs
+    /// before encoding.
+    // digg-lint: allow(no-unordered-serialize) — snapshot encodes the pairs as a sorted Vec, never in set-iteration order
     scheduled: HashSet<(UserId, StoryId)>,
     promoter: Box<dyn Promoter>,
     /// Per-story incremental promoter state, indexed like `stories`.
@@ -179,6 +185,10 @@ pub struct Sim {
     up_gap: StreamRng,
     up_tau: f64,
     up_sessions: u64,
+    /// Events fired by *this instance* since construction or restore.
+    /// Diagnostics only (checkpoint-overhead rates); deliberately not
+    /// serialized — a restored sim starts its own count at zero.
+    events_fired: u64,
 }
 
 impl Sim {
@@ -238,6 +248,7 @@ impl Sim {
             up_gap: root.derive(SALT_UP_GAP),
             up_tau: 0.0,
             up_sessions: 0,
+            events_fired: 0,
             kernel,
             cfg,
             pop,
@@ -300,6 +311,13 @@ impl Sim {
         &self.metrics
     }
 
+    /// Events fired by this instance since construction or restore —
+    /// a diagnostics counter for throughput rates, not simulation
+    /// state (it is not serialized into snapshots).
+    pub fn events_fired(&self) -> u64 {
+        self.events_fired
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
@@ -309,8 +327,26 @@ impl Sim {
     /// the window, then land on the horizon. Minutes with no events
     /// cost nothing.
     pub fn run(&mut self, minutes: u64) {
-        let horizon = self.now + minutes;
-        while let Some(t) = self.events.peek_time() {
+        self.run_budgeted(self.now + minutes, u64::MAX);
+    }
+
+    /// Advance toward `horizon`, firing at most `max_events` events.
+    /// Returns `true` once no events remain inside the window (the
+    /// clock then lands exactly on the horizon, as [`Sim::run`] does);
+    /// `false` means the budget ran out mid-drain — the natural moment
+    /// to [`Snapshot`] the sim and call `run_budgeted` again with the
+    /// same horizon. Interleaving snapshots (or a restore on another
+    /// process) between budget slices changes nothing: the final state
+    /// is bit-identical to one uninterrupted [`Sim::run`].
+    pub fn run_budgeted(&mut self, horizon: Minute, max_events: u64) -> bool {
+        // A horizon in the past is a no-op landing at `now`: the clock
+        // never moves backward.
+        let horizon = Minute(horizon.0.max(self.now.0));
+        let mut fired = 0u64;
+        while fired < max_events {
+            let Some(t) = self.events.peek_time() else {
+                break;
+            };
             if t > horizon.0 {
                 break;
             }
@@ -319,9 +355,22 @@ impl Sim {
             // The clock only moves forward; events never fire early.
             self.now = Minute(e.time.max(self.now.0));
             self.handle(e.payload);
+            fired += 1;
+            self.events_fired += 1;
         }
-        self.now = horizon;
-        self.metrics.minutes += minutes;
+        let done = match self.events.peek_time() {
+            Some(t) => t > horizon.0,
+            None => true,
+        };
+        if done {
+            // At every rest point `metrics.minutes == now.0` (both
+            // start at zero and only run()'s horizon landing moves
+            // them), so assigning the horizon here is exactly the
+            // `+= minutes` a one-shot run() performs.
+            self.now = horizon;
+            self.metrics.minutes = horizon.0;
+        }
+        done
     }
 
     /// Advance one minute.
@@ -787,6 +836,322 @@ impl Sim {
     }
 }
 
+// ------------------------------------------------- checkpoint/replay
+
+impl Codec for Ev {
+    fn encode(&self, out: &mut ByteWriter) {
+        match *self {
+            Ev::Expiry(id) => {
+                out.put_u8(0);
+                out.put_u32(id.0);
+            }
+            Ev::SubmitBatch => out.put_u8(1),
+            Ev::FrontBatch => out.put_u8(2),
+            Ev::UpcomingBatch => out.put_u8(3),
+            Ev::ExternalBatch => out.put_u8(4),
+            Ev::Submit => out.put_u8(5),
+            Ev::FrontSession => out.put_u8(6),
+            Ev::UpSession => out.put_u8(7),
+            Ev::ExternalArrival { story, rng, tau } => {
+                out.put_u8(8);
+                out.put_u32(story.0);
+                rng.encode(out);
+                out.put_f64(tau);
+            }
+            Ev::Exposure {
+                fan,
+                story,
+                triggered_at,
+                from_submitter,
+            } => {
+                out.put_u8(9);
+                out.put_u32(fan.0);
+                out.put_u32(story.0);
+                out.put_u64(triggered_at.0);
+                out.put_u8(u8::from(from_submitter));
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Ev, SnapshotError> {
+        Ok(match r.get_u8()? {
+            0 => Ev::Expiry(StoryId(r.get_u32()?)),
+            1 => Ev::SubmitBatch,
+            2 => Ev::FrontBatch,
+            3 => Ev::UpcomingBatch,
+            4 => Ev::ExternalBatch,
+            5 => Ev::Submit,
+            6 => Ev::FrontSession,
+            7 => Ev::UpSession,
+            8 => Ev::ExternalArrival {
+                story: StoryId(r.get_u32()?),
+                rng: StreamRng::decode(r)?,
+                tau: r.get_f64()?,
+            },
+            9 => Ev::Exposure {
+                fan: UserId(r.get_u32()?),
+                story: StoryId(r.get_u32()?),
+                triggered_at: Minute(r.get_u64()?),
+                from_submitter: match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(SnapshotError::Malformed(format!("from_submitter flag {b}"))),
+                },
+            },
+            t => return Err(SnapshotError::Malformed(format!("event tag {t}"))),
+        })
+    }
+}
+
+/// What a [`Sim`] snapshot carries vs rebuilds (DESIGN.md §15):
+///
+/// **Serialized** — everything whose value is path-dependent: stories
+/// (votes, statuses, qualities), per-story [`PromoterState`] partial
+/// sums, both listings, the pending event queue (as a nested
+/// [`EventQueue`] container, tombstones dropped), the exposure-dedup
+/// pair set (sorted), the tick-loop `StdRng` core, the four engine
+/// [`StreamRng`] streams with their continuous clocks, metrics, the
+/// clock, and the full [`SimConfig`].
+///
+/// **Rebuilt on restore** — pure functions of serialized state or of
+/// the context population: alias tables (from population weights), the
+/// promoter object (from `cfg.promoter`), the niche-quality sampler
+/// (from cfg), and every story's `voter_pos` index (from its votes).
+/// The population itself is the restore *context*: it is a pure
+/// function of `(PopulationConfig, seed)` and is only fingerprinted,
+/// not stored.
+impl Snapshot for Sim {
+    fn snapshot(&self) -> Vec<u8> {
+        let mut c = SnapshotWriter::new();
+
+        let mut w = ByteWriter::new();
+        self.cfg.encode(&mut w);
+        c.section("config", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_u8(match self.kernel {
+            Kernel::Compat => 0,
+            Kernel::EventStreams => 1,
+        });
+        w.put_u64(self.now.0);
+        w.put_usize(self.external_lo);
+        w.put_u64(self.front_sessions);
+        w.put_u64(self.up_sessions);
+        w.put_f64(self.sub_tau);
+        w.put_f64(self.front_tau);
+        w.put_f64(self.up_tau);
+        c.section("state", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        self.metrics.encode(&mut w);
+        c.section("metrics", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_usize(self.pop.len());
+        w.put_u64(self.pop.fingerprint());
+        c.section("pop", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_usize(self.stories.len());
+        for s in &self.stories {
+            s.encode(&mut w);
+        }
+        c.section("stories", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_usize(self.promo_states.len());
+        for p in &self.promo_states {
+            p.encode(&mut w);
+        }
+        c.section("promo", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        let entries: Vec<_> = self.queue.snapshot_entries().collect();
+        w.put_usize(entries.len());
+        for (id, t) in entries {
+            w.put_u32(id.0);
+            w.put_u64(t.0);
+        }
+        c.section("queue", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_usize(self.front.all().len());
+        for &(id, t) in self.front.all() {
+            w.put_u32(id.0);
+            w.put_u64(t.0);
+        }
+        c.section("front", w.into_bytes());
+
+        // HashSet iteration order is arbitrary: sort the pairs so the
+        // bytes are a pure function of the logical state.
+        let mut pairs: Vec<(u32, u32)> = self.scheduled.iter().map(|&(u, s)| (u.0, s.0)).collect();
+        pairs.sort_unstable();
+        let mut w = ByteWriter::new();
+        w.put_usize(pairs.len());
+        for (u, s) in pairs {
+            w.put_u32(u);
+            w.put_u32(s);
+        }
+        c.section("scheduled", w.into_bytes());
+
+        c.section("events", self.events.snapshot());
+
+        let mut w = ByteWriter::new();
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        c.section("rng", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        self.root.encode(&mut w);
+        self.sub_gap.encode(&mut w);
+        self.front_gap.encode(&mut w);
+        self.up_gap.encode(&mut w);
+        c.section("streams", w.into_bytes());
+
+        c.finish()
+    }
+}
+
+impl Restore for Sim {
+    /// The regenerated population — from the same
+    /// `(PopulationConfig, seed)` the snapshotted sim was built with.
+    /// Checked against the stored fingerprint before anything else is
+    /// trusted.
+    type Context<'a> = Population;
+
+    fn restore(bytes: &[u8], pop: Population) -> Result<Sim, SnapshotError> {
+        let c = SnapshotReader::parse(bytes)?;
+
+        let mut r = c.section_reader("config")?;
+        let cfg = SimConfig::decode(&mut r)?;
+        cfg.validate()
+            .map_err(|e| SnapshotError::Malformed(format!("invalid config in snapshot: {e}")))?;
+
+        let mut r = c.section_reader("pop")?;
+        let users = r.get_usize()?;
+        let fingerprint = r.get_u64()?;
+        if users != pop.len() || fingerprint != pop.fingerprint() {
+            return Err(SnapshotError::Malformed(
+                "population does not match the snapshot fingerprint — regenerate it from the \
+                 same (PopulationConfig, seed) the snapshotted run used"
+                    .into(),
+            ));
+        }
+
+        let mut r = c.section_reader("state")?;
+        let kernel = match r.get_u8()? {
+            0 => Kernel::Compat,
+            1 => Kernel::EventStreams,
+            t => return Err(SnapshotError::Malformed(format!("kernel tag {t}"))),
+        };
+        let now = Minute(r.get_u64()?);
+        let external_lo = r.get_usize()?;
+        let front_sessions = r.get_u64()?;
+        let up_sessions = r.get_u64()?;
+        let sub_tau = r.get_f64()?;
+        let front_tau = r.get_f64()?;
+        let up_tau = r.get_f64()?;
+
+        let metrics = SimMetrics::decode(&mut c.section_reader("metrics")?)?;
+
+        let mut r = c.section_reader("stories")?;
+        let n = r.get_usize()?;
+        let mut stories = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            stories.push(Story::decode(&mut r)?);
+        }
+        if external_lo > stories.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "external_lo {external_lo} beyond {} stories",
+                stories.len()
+            )));
+        }
+
+        let mut r = c.section_reader("promo")?;
+        let np = r.get_usize()?;
+        if np != stories.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "{np} promoter states for {} stories",
+                stories.len()
+            )));
+        }
+        let mut promo_states = Vec::with_capacity(np.min(1 << 20));
+        for _ in 0..np {
+            promo_states.push(PromoterState::decode(&mut r)?);
+        }
+
+        let mut r = c.section_reader("queue")?;
+        let nq = r.get_usize()?;
+        let mut queue_entries = Vec::with_capacity(nq.min(1 << 20));
+        for _ in 0..nq {
+            queue_entries.push((StoryId(r.get_u32()?), Minute(r.get_u64()?)));
+        }
+
+        let mut r = c.section_reader("front")?;
+        let nf = r.get_usize()?;
+        let mut front_entries = Vec::with_capacity(nf.min(1 << 20));
+        for _ in 0..nf {
+            front_entries.push((StoryId(r.get_u32()?), Minute(r.get_u64()?)));
+        }
+
+        let mut r = c.section_reader("scheduled")?;
+        let ns = r.get_usize()?;
+        let mut scheduled = HashSet::with_capacity(ns.min(1 << 20));
+        for _ in 0..ns {
+            scheduled.insert((UserId(r.get_u32()?), StoryId(r.get_u32()?)));
+        }
+
+        let events: EventQueue<Ev> = EventQueue::restore(c.section("events")?, ())?;
+
+        let mut r = c.section_reader("rng")?;
+        let rng = StdRng::from_state([r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?]);
+
+        let mut r = c.section_reader("streams")?;
+        let root = StreamRng::decode(&mut r)?;
+        let sub_gap = StreamRng::decode(&mut r)?;
+        let front_gap = StreamRng::decode(&mut r)?;
+        let up_gap = StreamRng::decode(&mut r)?;
+
+        let browse_table = AliasTable::new(&pop.browse_weight).ok_or_else(|| {
+            SnapshotError::Malformed("population browse weights yield no alias table".into())
+        })?;
+        let submit_table = AliasTable::new(&pop.submit_weight).ok_or_else(|| {
+            SnapshotError::Malformed("population submit weights yield no alias table".into())
+        })?;
+
+        Ok(Sim {
+            queue: UpcomingQueue::from_snapshot(cfg.page_size, cfg.queue_lifetime, queue_entries),
+            front: FrontPage::from_snapshot(cfg.page_size, front_entries),
+            events,
+            scheduled,
+            stories,
+            promo_states,
+            now,
+            metrics,
+            browse_table,
+            submit_table,
+            promoter: promotion::from_kind(cfg.promoter),
+            niche_quality: LogNormal::new(cfg.niche_quality_mu, cfg.niche_quality_sigma),
+            rng,
+            external_lo,
+            root,
+            sub_gap,
+            sub_tau,
+            front_gap,
+            front_tau,
+            front_sessions,
+            up_gap,
+            up_tau,
+            up_sessions,
+            events_fired: 0,
+            kernel,
+            cfg,
+            pop,
+        })
+    }
+}
+
 /// Story quality: a coin between the broad-appeal regime (uniform above
 /// `broad_quality_min`, likelier for skilled submitters) and the niche
 /// regime (log-normal, clamped into `(0, 1]`).
@@ -1050,5 +1415,98 @@ mod tests {
         let mut whole = toy_streams_sim(13);
         whole.run(600);
         assert_eq!(split.metrics(), whole.metrics());
+    }
+
+    fn toy_pop(seed: u64, users: usize) -> Population {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        Population::generate(&mut rng, &PopulationConfig::toy(users))
+    }
+
+    fn assert_same_trajectory(a: &Sim, b: &Sim) {
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.stories().len(), b.stories().len());
+        for (x, y) in a.stories().iter().zip(b.stories()) {
+            assert_eq!(x.votes, y.votes);
+            assert_eq!(x.status, y.status);
+            assert_eq!(x.quality.to_bits(), y.quality.to_bits());
+        }
+        assert_eq!(a.front_page().all(), b.front_page().all());
+        assert_eq!(a.snapshot(), b.snapshot(), "snapshot bytes diverge");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        for streams in [false, true] {
+            let mut straight = if streams {
+                toy_streams_sim(21)
+            } else {
+                toy_sim(21)
+            };
+            let mut paused = if streams {
+                toy_streams_sim(21)
+            } else {
+                toy_sim(21)
+            };
+            paused.run(350);
+            let bytes = paused.snapshot();
+            let mut resumed =
+                Sim::restore(&bytes, toy_pop(21, paused.config().users)).expect("restore");
+            // The restored sim snapshots back to the same bytes…
+            assert_eq!(resumed.snapshot(), bytes);
+            // …and the remainder of the run is bit-identical to never
+            // having paused at all.
+            straight.run(900);
+            paused.run(550);
+            resumed.run(550);
+            assert_same_trajectory(&straight, &paused);
+            assert_same_trajectory(&straight, &resumed);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_the_wrong_population() {
+        let mut sim = toy_sim(30);
+        sim.run(100);
+        let bytes = sim.snapshot();
+        let err = match Sim::restore(&bytes, toy_pop(31, sim.config().users)) {
+            Err(e) => e,
+            Ok(_) => panic!("restore accepted a mismatched population"),
+        };
+        match err {
+            SnapshotError::Malformed(msg) => assert!(msg.contains("fingerprint"), "{msg}"),
+            other => panic!("expected Malformed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn restore_of_corrupted_snapshot_is_a_typed_error() {
+        let mut sim = toy_sim(33);
+        sim.run(120);
+        let mut bytes = sim.snapshot();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        match Sim::restore(&bytes, toy_pop(33, sim.config().users)) {
+            Err(_) => {}
+            Ok(_) => panic!("restore accepted a corrupted snapshot"),
+        }
+    }
+
+    #[test]
+    fn run_budgeted_pauses_without_disturbing_the_trajectory() {
+        // Drain the same horizon in tiny event budgets; state at the
+        // end must match a single unbudgeted run — this is what lets a
+        // sweep worker checkpoint every N events.
+        let mut budgeted = toy_streams_sim(17);
+        let mut straight = toy_streams_sim(17);
+        let horizon = Minute(500);
+        let mut slices = 0u32;
+        while !budgeted.run_budgeted(horizon, 64) {
+            slices += 1;
+            assert!(slices < 100_000, "budgeted run failed to make progress");
+        }
+        straight.run(500);
+        assert_same_trajectory(&straight, &budgeted);
+        assert!(slices > 2, "budget was never exhausted mid-run");
     }
 }

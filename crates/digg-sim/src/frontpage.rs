@@ -75,6 +75,15 @@ impl FrontPage {
     pub fn all(&self) -> &[(StoryId, Minute)] {
         &self.entries
     }
+
+    /// Snapshot support: rebuild a front page from captured entries
+    /// (newest promotion first); `page_size` comes from the restored
+    /// configuration rather than the snapshot.
+    pub(crate) fn from_snapshot(page_size: usize, entries: Vec<(StoryId, Minute)>) -> FrontPage {
+        let mut fp = FrontPage::new(page_size);
+        fp.entries = entries;
+        fp
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,7 @@ pub mod promotion;
 pub mod queue;
 pub mod scenario;
 pub mod story;
+pub mod supervisor;
 pub mod sweep;
 pub mod time;
 

@@ -3,6 +3,7 @@
 //! Used by calibration tests (does the run reproduce the paper's
 //! in-text statistics?) and by the ablation benches.
 
+use digg_snapshot::{ByteReader, ByteWriter, Codec, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Aggregate counters for one run.
@@ -60,6 +61,40 @@ impl SimMetrics {
             return 0.0;
         }
         self.promotions as f64 * 1440.0 / self.minutes as f64
+    }
+}
+
+impl Codec for SimMetrics {
+    fn encode(&self, out: &mut ByteWriter) {
+        for v in [
+            self.submissions,
+            self.promotions,
+            self.expirations,
+            self.votes_friends,
+            self.votes_frontpage,
+            self.votes_upcoming,
+            self.votes_external,
+            self.exposures_scheduled,
+            self.exposures_fired,
+            self.minutes,
+        ] {
+            out.put_u64(v);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<SimMetrics, SnapshotError> {
+        Ok(SimMetrics {
+            submissions: r.get_u64()?,
+            promotions: r.get_u64()?,
+            expirations: r.get_u64()?,
+            votes_friends: r.get_u64()?,
+            votes_frontpage: r.get_u64()?,
+            votes_upcoming: r.get_u64()?,
+            votes_external: r.get_u64()?,
+            exposures_scheduled: r.get_u64()?,
+            exposures_fired: r.get_u64()?,
+            minutes: r.get_u64()?,
+        })
     }
 }
 

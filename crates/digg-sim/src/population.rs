@@ -128,6 +128,28 @@ impl Population {
         act[..k].iter().sum::<f64>() / total
     }
 
+    /// Stable fingerprint of the population, recorded in simulation
+    /// snapshots. Populations are deliberately *not* serialized — they
+    /// are a pure function of `(PopulationConfig, seed)` and can be
+    /// regenerated in milliseconds — but a restore against the wrong
+    /// regeneration would silently produce garbage, so [`crate::Sim`]'s
+    /// restore path compares this fingerprint instead.
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = digg_snapshot::ByteWriter::new();
+        w.put_usize(self.len());
+        w.put_usize(self.graph.edge_count());
+        for &a in &self.activity {
+            w.put_f64(a);
+        }
+        for &b in &self.browse_weight {
+            w.put_f64(b);
+        }
+        for &s in &self.submit_weight {
+            w.put_f64(s);
+        }
+        digg_snapshot::fnv1a64(&w.into_bytes())
+    }
+
     /// Generate a population.
     ///
     /// Steps:

@@ -15,6 +15,7 @@
 
 use crate::story::Story;
 use crate::time::Minute;
+use digg_snapshot::{ByteReader, ByteWriter, Codec, SnapshotError};
 use social_graph::SocialGraph;
 
 /// Per-story incremental promoter state: what a rule has folded from
@@ -35,6 +36,34 @@ pub enum PromoterState {
         /// Votes folded so far (prefix length).
         applied: usize,
     },
+}
+
+/// Checkpoint encoding. The `weighted` f64 is stored as its exact bit
+/// pattern: a restored diversity fold continues from the identical
+/// partial sum, which is what keeps resumed promotion decisions
+/// bit-identical to an uninterrupted run.
+impl Codec for PromoterState {
+    fn encode(&self, out: &mut ByteWriter) {
+        match *self {
+            PromoterState::Stateless => out.put_u8(0),
+            PromoterState::Diversity { weighted, applied } => {
+                out.put_u8(1);
+                out.put_f64(weighted);
+                out.put_usize(applied);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<PromoterState, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(PromoterState::Stateless),
+            1 => Ok(PromoterState::Diversity {
+                weighted: r.get_f64()?,
+                applied: r.get_usize()?,
+            }),
+            t => Err(SnapshotError::Malformed(format!("promoter state tag {t}"))),
+        }
+    }
 }
 
 /// Decides whether an upcoming story should be promoted right now.

@@ -103,6 +103,25 @@ impl UpcomingQueue {
     pub fn contains(&self, id: StoryId) -> bool {
         self.entries.iter().any(|&(s, _)| s == id)
     }
+
+    /// Snapshot support: the listing entries with submission times,
+    /// newest first.
+    pub(crate) fn snapshot_entries(&self) -> impl Iterator<Item = (StoryId, Minute)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Snapshot support: rebuild a queue from captured entries (newest
+    /// first); `page_size` and `lifetime` come from the restored
+    /// configuration rather than the snapshot.
+    pub(crate) fn from_snapshot(
+        page_size: usize,
+        lifetime: u64,
+        entries: Vec<(StoryId, Minute)>,
+    ) -> UpcomingQueue {
+        let mut q = UpcomingQueue::new(page_size, lifetime);
+        q.entries = entries.into();
+        q
+    }
 }
 
 #[cfg(test)]

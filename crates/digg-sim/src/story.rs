@@ -1,7 +1,8 @@
 //! Stories, votes and story lifecycle.
 
 use crate::time::Minute;
-use serde::{Deserialize, Serialize};
+use digg_snapshot::{ByteReader, ByteWriter, Codec, SnapshotError};
+use serde::{DeError, Deserialize, Serialize, Value};
 use social_graph::UserId;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -80,7 +81,7 @@ pub enum StoryStatus {
 }
 
 /// A story and its complete voting record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Story {
     /// Identifier (submission order).
     pub id: StoryId,
@@ -206,14 +207,122 @@ impl Story {
         (f, p, u, e)
     }
 
-    /// Rebuild the internal voter index after deserialization (serde
-    /// skips it). Idempotent; first vote wins should a hand-built
-    /// vote list contain duplicates.
+    /// Rebuild the internal voter index from the vote list.
+    /// [`Deserialize`] and [`Codec::decode`] call this eagerly, so a
+    /// freshly decoded story answers `has_voted`/`voted_before`
+    /// correctly without any caller action. Idempotent; first vote
+    /// wins should a hand-built vote list contain duplicates.
     pub fn rebuild_index(&mut self) {
         self.voter_pos.clear();
         for (k, v) in self.votes.iter().enumerate() {
             self.voter_pos.entry(v.user).or_insert(k);
         }
+    }
+}
+
+/// Manual impl (the derive would leave the skipped `voter_pos` empty):
+/// decode the serialized fields, then rebuild the voter index eagerly.
+/// Before this, a deserialized `Story` silently answered
+/// `has_voted == false` for everyone until someone remembered to call
+/// [`Story::rebuild_index`].
+impl Deserialize for Story {
+    fn from_value(value: &Value) -> Result<Story, DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "Story", value))?;
+        let mut story = Story {
+            id: serde::from_field(entries, "id", "Story")?,
+            submitter: serde::from_field(entries, "submitter", "Story")?,
+            submitted_at: serde::from_field(entries, "submitted_at", "Story")?,
+            quality: serde::from_field(entries, "quality", "Story")?,
+            votes: serde::from_field(entries, "votes", "Story")?,
+            status: serde::from_field(entries, "status", "Story")?,
+            voter_pos: HashMap::new(),
+        };
+        story.rebuild_index();
+        Ok(story)
+    }
+}
+
+impl Codec for VoteChannel {
+    fn encode(&self, out: &mut ByteWriter) {
+        out.put_u8(match self {
+            VoteChannel::Friends => 0,
+            VoteChannel::FrontPage => 1,
+            VoteChannel::Upcoming => 2,
+            VoteChannel::External => 3,
+        });
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<VoteChannel, SnapshotError> {
+        match r.get_u8()? {
+            0 => Ok(VoteChannel::Friends),
+            1 => Ok(VoteChannel::FrontPage),
+            2 => Ok(VoteChannel::Upcoming),
+            3 => Ok(VoteChannel::External),
+            t => Err(SnapshotError::Malformed(format!("vote channel tag {t}"))),
+        }
+    }
+}
+
+/// Binary story encoding for checkpoints. `voter_pos` is rebuilt on
+/// decode (it is a pure function of `votes`), so the bytes stay
+/// order-stable and a decoded story is immediately queryable.
+impl Codec for Story {
+    fn encode(&self, out: &mut ByteWriter) {
+        out.put_u32(self.id.0);
+        out.put_u32(self.submitter.0);
+        out.put_u64(self.submitted_at.0);
+        out.put_f64(self.quality);
+        match self.status {
+            StoryStatus::Upcoming => out.put_u8(0),
+            StoryStatus::FrontPage(t) => {
+                out.put_u8(1);
+                out.put_u64(t.0);
+            }
+            StoryStatus::Expired(t) => {
+                out.put_u8(2);
+                out.put_u64(t.0);
+            }
+        }
+        out.put_usize(self.votes.len());
+        for v in &self.votes {
+            out.put_u32(v.user.0);
+            out.put_u64(v.at.0);
+            v.channel.encode(out);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Story, SnapshotError> {
+        let id = StoryId(r.get_u32()?);
+        let submitter = UserId(r.get_u32()?);
+        let submitted_at = Minute(r.get_u64()?);
+        let quality = r.get_f64()?;
+        let status = match r.get_u8()? {
+            0 => StoryStatus::Upcoming,
+            1 => StoryStatus::FrontPage(Minute(r.get_u64()?)),
+            2 => StoryStatus::Expired(Minute(r.get_u64()?)),
+            t => return Err(SnapshotError::Malformed(format!("story status tag {t}"))),
+        };
+        let n = r.get_usize()?;
+        let mut votes = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let user = UserId(r.get_u32()?);
+            let at = Minute(r.get_u64()?);
+            let channel = VoteChannel::decode(r)?;
+            votes.push(Vote { user, at, channel });
+        }
+        let mut story = Story {
+            id,
+            submitter,
+            submitted_at,
+            quality,
+            votes,
+            status,
+            voter_pos: HashMap::new(),
+        };
+        story.rebuild_index();
+        Ok(story)
     }
 }
 
@@ -293,14 +402,43 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_index_restores_dedup() {
+    fn deserialization_rebuilds_the_voter_index_eagerly() {
         let mut s = story();
         s.add_vote(UserId(1), Minute(101), VoteChannel::Friends);
         let json = serde_json::to_string(&s).unwrap();
         let mut s2: Story = serde_json::from_str(&json).unwrap();
-        // Before rebuilding, the skip-field is empty; rebuild fixes it.
-        s2.rebuild_index();
+        // No rebuild_index() call: the index must already be live, or
+        // the dedup silently admits duplicate votes.
         assert!(s2.has_voted(UserId(1)));
+        assert!(s2.has_voted(UserId(7)));
+        assert_eq!(s2.vote_position(UserId(1)), Some(1));
+        assert!(s2.voted_before(UserId(7), 1));
         assert!(!s2.add_vote(UserId(1), Minute(200), VoteChannel::External));
+        assert_eq!(s2.vote_count(), s.vote_count());
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_everything_queryable() {
+        let mut s = story();
+        s.add_vote(UserId(1), Minute(105), VoteChannel::Upcoming);
+        s.add_vote(UserId(2), Minute(110), VoteChannel::Friends);
+        s.status = StoryStatus::FrontPage(Minute(120));
+        let mut w = ByteWriter::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let s2 = Story::decode(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(s2.id, s.id);
+        assert_eq!(s2.votes, s.votes);
+        assert_eq!(s2.status, s.status);
+        assert_eq!(s2.quality.to_bits(), s.quality.to_bits());
+        // The voter index is live on the decoded copy too.
+        assert!(s2.has_voted(UserId(2)));
+        assert_eq!(s2.vote_position(UserId(1)), Some(1));
+        // A truncated story decodes to a typed error, not a panic.
+        for cut in 0..bytes.len() {
+            assert!(Story::decode(&mut ByteReader::new(&bytes[..cut])).is_err());
+        }
     }
 }

@@ -1,0 +1,797 @@
+//! The fault-tolerant multi-process sweep runner.
+//!
+//! [`run_sweep_supervised`] shards a `specs x seeds` grid across worker
+//! **subprocesses** (DESIGN.md §15). The supervisor assigns each worker
+//! a static contiguous row-major shard of the grid and drives it one
+//! cell at a time over a stdin/stdout frame protocol; workers
+//! checkpoint their simulation every N events through
+//! [`digg_snapshot`]'s versioned containers, and a worker that dies
+//! mid-cell is re-spawned and resumes from the last checkpoint. Because
+//! a restored [`Sim`] is bit-identical to the one that wrote the
+//! snapshot, a sweep that lost workers produces output **byte-identical
+//! to an uninterrupted run** — the property the `checkpoint_sweep`
+//! bench asserts end to end.
+//!
+//! ## Protocol
+//!
+//! Frames are `u32` little-endian length + JSON payload, one
+//! [`CellRequest`] down / one [`CellResponse`] up per cell, strictly
+//! ping-pong (one cell in flight per worker). A worker that reads EOF
+//! exits cleanly; a supervisor that reads EOF mid-cell declares the
+//! worker dead, re-spawns it (up to
+//! [`SupervisorConfig::max_respawns`] per cell), and re-sends the cell
+//! with `resume = true` and fault injection disabled.
+//!
+//! ## Determinism
+//!
+//! Sharding is static (contiguous chunks, like [`des_core::par_map`])
+//! and outcomes are reassembled in grid order, so results don't depend
+//! on worker scheduling. Deterministic worker deaths come from
+//! [`CellRequest::kill_after_checkpoints`]: the worker kills *itself*
+//! (`process::exit`) right after writing its k-th checkpoint, so where
+//! a death lands in the event stream is a pure function of the plan —
+//! no signal races. With no subprocess binary available the supervisor
+//! falls back to running shards in-process (same sharding, same
+//! checkpoint cadence, kills ignored), which keeps every consumer
+//! runnable in environments that cannot spawn.
+
+use crate::engine::Sim;
+use crate::sweep::{
+    scenario_population, scenario_run, scenario_sim, CellOutcome, ScenarioRun, ScenarioSpec,
+};
+use crate::time::Minute;
+use digg_snapshot::{read_snapshot, write_snapshot, Restore, Snapshot, SnapshotError};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Exit code a worker uses when a kill plan tells it to die after a
+/// checkpoint — distinguishable from a real crash in worker logs.
+pub const WORKER_KILL_EXIT_CODE: i32 = 101;
+
+/// Ceiling on a single protocol frame; a length prefix beyond this is
+/// a corrupt stream, not a real message.
+const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Everything that can go wrong driving a supervised sweep.
+#[derive(Debug)]
+pub enum SweepError {
+    /// An I/O error on the worker pipe or a checkpoint file.
+    Io(io::Error),
+    /// A malformed or out-of-order protocol frame.
+    Protocol(String),
+    /// A checkpoint could not be written, read, or restored.
+    Snapshot(SnapshotError),
+    /// A worker died more times than the respawn budget allows.
+    WorkerExhausted {
+        /// Grid index of the cell being retried when the budget ran out.
+        cell: usize,
+        /// Respawns attempted for that cell.
+        respawns: u32,
+    },
+    /// The configuration asked for checkpointing without a directory,
+    /// or for subprocess workers without a command.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Io(e) => write!(f, "sweep i/o error: {e}"),
+            SweepError::Protocol(msg) => write!(f, "sweep protocol error: {msg}"),
+            SweepError::Snapshot(e) => write!(f, "sweep checkpoint error: {e}"),
+            SweepError::WorkerExhausted { cell, respawns } => write!(
+                f,
+                "worker for cell {cell} died through all {respawns} respawns"
+            ),
+            SweepError::BadConfig(msg) => write!(f, "sweep config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<io::Error> for SweepError {
+    fn from(e: io::Error) -> SweepError {
+        SweepError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for SweepError {
+    fn from(e: SnapshotError) -> SweepError {
+        SweepError::Snapshot(e)
+    }
+}
+
+// ---------------------------------------------------------- protocol
+
+/// Supervisor → worker: run one grid cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellRequest {
+    /// Grid index of the cell (row-major over `specs x seeds`).
+    pub cell: usize,
+    /// The scenario to run.
+    pub spec: ScenarioSpec,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Events between checkpoints; 0 disables checkpointing.
+    pub checkpoint_every: u64,
+    /// Where this cell's checkpoint lives (absent = no checkpointing).
+    pub checkpoint_path: Option<String>,
+    /// Resume from the checkpoint file if it exists (set on re-sends
+    /// after a worker death).
+    pub resume: bool,
+    /// Fault injection: self-kill right after writing this many
+    /// checkpoints. Never set on a resume re-send.
+    pub kill_after_checkpoints: Option<u32>,
+}
+
+/// Worker → supervisor: the finished cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResponse {
+    /// Echo of [`CellRequest::cell`].
+    pub cell: usize,
+    /// The cell's outcome (a worker-side checkpoint error is reported
+    /// as a [`CellOutcome::Panicked`] carrying the rendered error).
+    pub outcome: CellOutcome,
+    /// Checkpoints the worker wrote while running this cell.
+    pub checkpoints_written: u32,
+    /// Whether the worker resumed from a checkpoint file.
+    pub resumed: bool,
+}
+
+/// Write one length-prefixed JSON frame.
+fn write_frame<T: Serialize, W: Write>(w: &mut W, msg: &T) -> io::Result<()> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode frame: {e}")))?;
+    let len = u32::try_from(json.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(json.as_bytes())?;
+    w.flush()
+}
+
+/// Read one length-prefixed JSON frame; `Ok(None)` on clean EOF at a
+/// frame boundary (the shutdown signal).
+fn read_frame<T: serde::Deserialize, R: Read>(r: &mut R) -> Result<Option<T>, SweepError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(SweepError::Io(e)),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(SweepError::Protocol(format!(
+            "frame length {len} exceeds cap"
+        )));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    let text =
+        String::from_utf8(buf).map_err(|_| SweepError::Protocol("frame is not UTF-8".into()))?;
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| SweepError::Protocol(format!("decode frame: {e}")))
+}
+
+// ------------------------------------------------------------ worker
+
+/// How one cell execution should checkpoint (and die).
+#[derive(Debug, Clone, Default)]
+pub struct CellCheckpointing<'a> {
+    /// Events between checkpoints; 0 disables checkpointing.
+    pub every_events: u64,
+    /// Checkpoint file for this cell.
+    pub path: Option<&'a Path>,
+    /// Restore from `path` if the file exists.
+    pub resume: bool,
+    /// Self-kill (`process::exit`) after writing this many
+    /// checkpoints. Only honoured by subprocess workers.
+    pub kill_after_checkpoints: Option<u32>,
+}
+
+/// What [`run_cell_checkpointed`] did besides the run itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellCheckpointReport {
+    /// Checkpoints written during this execution.
+    pub checkpoints_written: u32,
+    /// Whether execution started from a restored checkpoint.
+    pub resumed: bool,
+}
+
+/// Run one `(spec, seed)` cell with checkpointing: resume from the
+/// checkpoint file when asked (and present), then alternate
+/// `run_budgeted` slices of `every_events` with atomic snapshot writes
+/// until the horizon is drained. The result is bit-identical to
+/// [`crate::sweep::run_scenario`] — checkpointing only pauses the
+/// simulation, never perturbs it.
+///
+/// When `kill_after_checkpoints` is hit the process exits with
+/// [`WORKER_KILL_EXIT_CODE`] immediately after the checkpoint lands —
+/// the deterministic worker-death fault the recovery tests inject.
+pub fn run_cell_checkpointed(
+    spec: &ScenarioSpec,
+    seed: u64,
+    ckpt: &CellCheckpointing<'_>,
+) -> Result<(ScenarioRun, CellCheckpointReport), SweepError> {
+    let mut resumed = false;
+    let mut sim: Option<Sim> = None;
+    if ckpt.resume {
+        if let Some(path) = ckpt.path {
+            if path.exists() {
+                let bytes = read_snapshot(path)?;
+                sim = Some(Sim::restore(&bytes, scenario_population(spec, seed))?);
+                resumed = true;
+            }
+        }
+    }
+    let mut sim = match sim {
+        Some(sim) => sim,
+        None => scenario_sim(spec, seed),
+    };
+    let horizon = Minute(spec.minutes);
+    let mut written = 0u32;
+    match (ckpt.every_events, ckpt.path) {
+        (0, _) | (_, None) => {
+            sim.run_budgeted(horizon, u64::MAX);
+        }
+        (every, Some(path)) => {
+            while !sim.run_budgeted(horizon, every) {
+                write_snapshot(path, &sim.snapshot())?;
+                written += 1;
+                if ckpt.kill_after_checkpoints == Some(written) {
+                    std::process::exit(WORKER_KILL_EXIT_CODE);
+                }
+            }
+        }
+    }
+    Ok((
+        scenario_run(spec, seed, &sim),
+        CellCheckpointReport {
+            checkpoints_written: written,
+            resumed,
+        },
+    ))
+}
+
+/// Serve one [`CellRequest`]: run the cell (panic-isolated — a
+/// poisoned scenario yields [`CellOutcome::Panicked`], not a dead
+/// worker) and package the response.
+fn serve_cell(req: &CellRequest) -> CellResponse {
+    let path = req.checkpoint_path.as_ref().map(PathBuf::from);
+    let ckpt = CellCheckpointing {
+        every_events: req.checkpoint_every,
+        path: path.as_deref(),
+        resume: req.resume,
+        kill_after_checkpoints: req.kill_after_checkpoints,
+    };
+    // AssertUnwindSafe: a panicking cell's partially built Sim is
+    // dropped during the unwind; only the outcome value escapes.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_cell_checkpointed(&req.spec, req.seed, &ckpt)
+    }));
+    let (outcome, report) = match result {
+        Ok(Ok((run, report))) => (CellOutcome::Ok(run), Some(report)),
+        Ok(Err(e)) => (
+            CellOutcome::Panicked {
+                scenario: req.spec.name.clone(),
+                seed: req.seed,
+                message: format!("checkpoint error: {e}"),
+            },
+            None,
+        ),
+        Err(p) => (
+            CellOutcome::Panicked {
+                scenario: req.spec.name.clone(),
+                seed: req.seed,
+                message: des_core::panic_message(p.as_ref()),
+            },
+            None,
+        ),
+    };
+    CellResponse {
+        cell: req.cell,
+        outcome,
+        checkpoints_written: report.map_or(0, |r| r.checkpoints_written),
+        resumed: report.is_some_and(|r| r.resumed),
+    }
+}
+
+/// The worker side of the protocol: serve cells until EOF. Generic
+/// over the transport so tests can drive it over in-memory buffers.
+pub fn worker_main<R: Read, W: Write>(input: &mut R, output: &mut W) -> Result<(), SweepError> {
+    while let Some(req) = read_frame::<CellRequest, _>(input)? {
+        let resp = serve_cell(&req);
+        write_frame(output, &resp)?;
+    }
+    Ok(())
+}
+
+/// [`worker_main`] over stdin/stdout — the body of the `sweep_worker`
+/// binary. Returns the process exit code.
+pub fn worker_main_stdio() -> i32 {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    match worker_main(&mut stdin.lock(), &mut stdout.lock()) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("sweep_worker: {e}");
+            1
+        }
+    }
+}
+
+// -------------------------------------------------------- supervisor
+
+/// How [`run_sweep_supervised`] shards, checkpoints, and recovers.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Worker count — the grid is split into this many contiguous
+    /// row-major shards (clamped to the cell count).
+    pub workers: usize,
+    /// Events between worker checkpoints; 0 disables checkpointing.
+    pub checkpoint_every: u64,
+    /// Directory for per-cell checkpoint files (`cell_<index>.snap`).
+    /// Required when `checkpoint_every > 0`.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Respawn budget per cell; a worker that dies more often than
+    /// this on one cell fails the sweep.
+    pub max_respawns: u32,
+    /// Worker subprocess command (program + fixed args). `None` runs
+    /// shards in-process (no kills possible, checkpoints still
+    /// written).
+    pub worker_cmd: Option<Vec<String>>,
+    /// Deterministic fault plan: per grid cell, self-kill after that
+    /// many checkpoints. Empty = no kills. Only meaningful with
+    /// subprocess workers.
+    pub kill_after_checkpoints: Vec<Option<u32>>,
+}
+
+impl SupervisorConfig {
+    /// In-process sharded execution, no checkpointing — behaviourally
+    /// the panic-isolated [`crate::sweep::try_run_sweep`], reshaped
+    /// through the supervisor path.
+    pub fn in_process(workers: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            workers,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            max_respawns: 3,
+            worker_cmd: None,
+            kill_after_checkpoints: Vec::new(),
+        }
+    }
+
+    /// Subprocess workers running `cmd`, checkpointing every
+    /// `checkpoint_every` events into `dir`.
+    pub fn subprocess(
+        cmd: Vec<String>,
+        workers: usize,
+        checkpoint_every: u64,
+        dir: PathBuf,
+    ) -> SupervisorConfig {
+        SupervisorConfig {
+            workers,
+            checkpoint_every,
+            checkpoint_dir: Some(dir),
+            max_respawns: 3,
+            worker_cmd: Some(cmd),
+            kill_after_checkpoints: Vec::new(),
+        }
+    }
+
+    fn cell_checkpoint_path(&self, cell: usize) -> Option<PathBuf> {
+        if self.checkpoint_every == 0 {
+            return None;
+        }
+        self.checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("cell_{cell}.snap")))
+    }
+
+    fn kill_for(&self, cell: usize) -> Option<u32> {
+        self.kill_after_checkpoints.get(cell).copied().flatten()
+    }
+}
+
+/// One grid cell: its global row-major index and coordinates.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    index: usize,
+    spec_idx: usize,
+    seed: u64,
+}
+
+/// Run the full `specs x seeds` grid under the supervisor. Outcomes
+/// come back in row-major grid order; with no faults anywhere the cell
+/// payloads are bit-identical to [`crate::sweep::try_run_sweep`] at
+/// any worker count, and with faults they are *still* bit-identical —
+/// recovery resumes each killed cell from its last checkpoint.
+pub fn run_sweep_supervised(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+    cfg: &SupervisorConfig,
+) -> Result<Vec<CellOutcome>, SweepError> {
+    if cfg.checkpoint_every > 0 && cfg.checkpoint_dir.is_none() {
+        return Err(SweepError::BadConfig(
+            "checkpoint_every > 0 requires checkpoint_dir".into(),
+        ));
+    }
+    if let Some(dir) = &cfg.checkpoint_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let cells: Vec<Cell> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(spec_idx, _)| seeds.iter().map(move |&seed| (spec_idx, seed)))
+        .enumerate()
+        .map(|(index, (spec_idx, seed))| Cell {
+            index,
+            spec_idx,
+            seed,
+        })
+        .collect();
+    if cells.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = cfg.workers.clamp(1, cells.len());
+    let chunk = cells.len().div_ceil(workers);
+    let shards: Vec<&[Cell]> = cells.chunks(chunk).collect();
+    let results = des_core::par_map(&shards, shards.len(), |shard| match &cfg.worker_cmd {
+        Some(cmd) => drive_shard_subprocess(cmd, shard, specs, cfg),
+        None => Ok(drive_shard_in_process(shard, specs, cfg)),
+    });
+    let mut outcomes = Vec::with_capacity(cells.len());
+    for shard_result in results {
+        outcomes.extend(shard_result?);
+    }
+    Ok(outcomes)
+}
+
+/// In-process fallback shard driver: same sharding and checkpoint
+/// cadence as the subprocess path, kills ignored (there is no separate
+/// process to lose).
+fn drive_shard_in_process(
+    shard: &[Cell],
+    specs: &[ScenarioSpec],
+    cfg: &SupervisorConfig,
+) -> Vec<CellOutcome> {
+    shard
+        .iter()
+        .map(|cell| {
+            let spec = &specs[cell.spec_idx];
+            let path = cfg.cell_checkpoint_path(cell.index);
+            let ckpt = CellCheckpointing {
+                every_events: cfg.checkpoint_every,
+                path: path.as_deref(),
+                resume: false,
+                kill_after_checkpoints: None,
+            };
+            // AssertUnwindSafe: as in `serve_cell` — only the outcome
+            // value escapes the unwind.
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                run_cell_checkpointed(spec, cell.seed, &ckpt)
+            })) {
+                Ok(Ok((run, _))) => CellOutcome::Ok(run),
+                Ok(Err(e)) => CellOutcome::Panicked {
+                    scenario: spec.name.clone(),
+                    seed: cell.seed,
+                    message: format!("checkpoint error: {e}"),
+                },
+                Err(p) => CellOutcome::Panicked {
+                    scenario: spec.name.clone(),
+                    seed: cell.seed,
+                    message: des_core::panic_message(p.as_ref()),
+                },
+            };
+            if let Some(path) = &path {
+                let _ = std::fs::remove_file(path);
+            }
+            outcome
+        })
+        .collect()
+}
+
+/// A live worker subprocess with its pipe handles.
+struct Worker {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    stdout: std::process::ChildStdout,
+}
+
+impl Worker {
+    fn spawn(cmd: &[String]) -> Result<Worker, SweepError> {
+        let program = cmd
+            .first()
+            .ok_or_else(|| SweepError::BadConfig("empty worker command".into()))?;
+        let mut child = Command::new(program)
+            .args(&cmd[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| SweepError::Protocol("worker stdin not piped".into()))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| SweepError::Protocol("worker stdout not piped".into()))?;
+        Ok(Worker {
+            child,
+            stdin,
+            stdout,
+        })
+    }
+
+    /// Send one request and await its response. Any pipe failure —
+    /// write error, EOF, read error — reports the worker as dead.
+    fn exchange(&mut self, req: &CellRequest) -> Result<CellResponse, WorkerDeath> {
+        write_frame(&mut self.stdin, req).map_err(|_| WorkerDeath)?;
+        match read_frame::<CellResponse, _>(&mut self.stdout) {
+            Ok(Some(resp)) => Ok(resp),
+            Ok(None) | Err(SweepError::Io(_)) => Err(WorkerDeath),
+            // A malformed frame is unrecoverable garbage, not a death:
+            // surface it instead of respawning forever. Reported as a
+            // death so the caller's respawn budget bounds it anyway.
+            Err(_) => Err(WorkerDeath),
+        }
+    }
+
+    fn shutdown(mut self) {
+        // Closing stdin is the shutdown signal; reap the child so no
+        // zombie outlives the sweep.
+        drop(self.stdin);
+        let _ = self.child.wait();
+    }
+}
+
+/// Marker: the worker's pipes broke (crash, kill, or malformed frame).
+struct WorkerDeath;
+
+/// Subprocess shard driver: one worker serves the shard's cells in
+/// order; a death re-spawns the worker and re-sends the current cell
+/// with `resume = true` and fault injection stripped.
+fn drive_shard_subprocess(
+    cmd: &[String],
+    shard: &[Cell],
+    specs: &[ScenarioSpec],
+    cfg: &SupervisorConfig,
+) -> Result<Vec<CellOutcome>, SweepError> {
+    let mut worker = Worker::spawn(cmd)?;
+    let mut outcomes = Vec::with_capacity(shard.len());
+    for cell in shard {
+        let spec = &specs[cell.spec_idx];
+        let path = cfg.cell_checkpoint_path(cell.index);
+        let mut respawns = 0u32;
+        loop {
+            let resuming = respawns > 0;
+            let req = CellRequest {
+                cell: cell.index,
+                spec: spec.clone(),
+                seed: cell.seed,
+                checkpoint_every: cfg.checkpoint_every,
+                checkpoint_path: path.as_ref().map(|p| p.to_string_lossy().into_owned()),
+                resume: resuming,
+                kill_after_checkpoints: if resuming {
+                    None
+                } else {
+                    cfg.kill_for(cell.index)
+                },
+            };
+            match worker.exchange(&req) {
+                Ok(resp) => {
+                    if resp.cell != cell.index {
+                        return Err(SweepError::Protocol(format!(
+                            "worker answered cell {} while running cell {}",
+                            resp.cell, cell.index
+                        )));
+                    }
+                    outcomes.push(resp.outcome);
+                    if let Some(path) = &path {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    break;
+                }
+                Err(WorkerDeath) => {
+                    let _ = worker.child.wait();
+                    respawns += 1;
+                    if respawns > cfg.max_respawns {
+                        return Err(SweepError::WorkerExhausted {
+                            cell: cell.index,
+                            respawns: respawns - 1,
+                        });
+                    }
+                    worker = Worker::spawn(cmd)?;
+                }
+            }
+        }
+    }
+    worker.shutdown();
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Kernel;
+    use crate::population::PopulationConfig;
+    use crate::sweep::{run_scenario, try_run_sweep};
+
+    fn toy_specs() -> Vec<ScenarioSpec> {
+        let mut quiet = SimConfig::toy(0);
+        quiet.submissions_per_minute = 0.05;
+        vec![
+            ScenarioSpec {
+                name: "toy-compat".into(),
+                cfg: SimConfig::toy(0),
+                pop_cfg: PopulationConfig::toy(400),
+                kernel: Kernel::Compat,
+                minutes: 240,
+            },
+            ScenarioSpec {
+                name: "toy-streams".into(),
+                cfg: quiet,
+                pop_cfg: PopulationConfig::toy(400),
+                kernel: Kernel::EventStreams,
+                minutes: 240,
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let req = CellRequest {
+            cell: 7,
+            spec: toy_specs().remove(1),
+            seed: 99,
+            checkpoint_every: 5_000,
+            checkpoint_path: Some("/tmp/cell_7.snap".into()),
+            resume: true,
+            kill_after_checkpoints: Some(2),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let back: CellRequest = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(back.cell, 7);
+        assert_eq!(back.seed, 99);
+        assert_eq!(back.spec.name, "toy-streams");
+        assert_eq!(
+            back.spec.cfg.submissions_per_minute.to_bits(),
+            0.05f64.to_bits()
+        );
+        assert!(back.resume);
+        assert_eq!(back.kill_after_checkpoints, Some(2));
+        // The next read hits EOF at a frame boundary: clean shutdown.
+        assert!(read_frame::<CellRequest, _>(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_a_typed_error() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &CellResponse {
+                cell: 0,
+                outcome: CellOutcome::Ok(run_scenario(&toy_specs()[0], 1)),
+                checkpoints_written: 0,
+                resumed: false,
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = io::Cursor::new(buf);
+        match read_frame::<CellResponse, _>(&mut cursor) {
+            Err(SweepError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_main_serves_cells_over_buffers() {
+        let specs = toy_specs();
+        let mut input = Vec::new();
+        for (i, seed) in [(0usize, 5u64), (1, 6)] {
+            write_frame(
+                &mut input,
+                &CellRequest {
+                    cell: i,
+                    spec: specs[i].clone(),
+                    seed,
+                    checkpoint_every: 0,
+                    checkpoint_path: None,
+                    resume: false,
+                    kill_after_checkpoints: None,
+                },
+            )
+            .unwrap();
+        }
+        let mut output = Vec::new();
+        worker_main(&mut io::Cursor::new(input), &mut output).unwrap();
+        let mut cursor = io::Cursor::new(output);
+        for (i, seed) in [(0usize, 5u64), (1, 6)] {
+            let resp: CellResponse = read_frame(&mut cursor).unwrap().expect("response");
+            assert_eq!(resp.cell, i);
+            assert_eq!(resp.outcome.run(), Some(&run_scenario(&specs[i], seed)));
+            assert!(!resp.resumed);
+        }
+        assert!(read_frame::<CellResponse, _>(&mut cursor)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn in_process_supervision_matches_try_run_sweep() {
+        let specs = toy_specs();
+        let seeds = [1u64, 2, 3];
+        let plain = try_run_sweep(&specs, &seeds, 1).unwrap();
+        for workers in [1, 2, 5, 16] {
+            let cfg = SupervisorConfig::in_process(workers);
+            let supervised = run_sweep_supervised(&specs, &seeds, &cfg).unwrap();
+            assert_eq!(supervised, plain, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn checkpointed_cell_matches_the_uninterrupted_run() {
+        let dir = std::env::temp_dir().join(format!("digg-supervisor-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let specs = toy_specs();
+        let spec = &specs[0];
+        let path = dir.join("cell_0.snap");
+        let ckpt = CellCheckpointing {
+            every_events: 200,
+            path: Some(&path),
+            resume: false,
+            kill_after_checkpoints: None,
+        };
+        let (run, report) = run_cell_checkpointed(spec, 11, &ckpt).unwrap();
+        assert!(report.checkpoints_written > 0, "cadence never fired");
+        assert_eq!(run, run_scenario(spec, 11));
+        // The last checkpoint is a usable resume point: restoring it
+        // and draining the horizon reproduces the same run.
+        let bytes = read_snapshot(&path).unwrap();
+        let mut resumed = Sim::restore(&bytes, scenario_population(spec, 11)).unwrap();
+        resumed.run_budgeted(Minute(spec.minutes), u64::MAX);
+        assert_eq!(scenario_run(spec, 11, &resumed), run);
+        // And the resume path of run_cell_checkpointed takes it.
+        let ckpt = CellCheckpointing {
+            every_events: 200,
+            path: Some(&path),
+            resume: true,
+            kill_after_checkpoints: None,
+        };
+        let (rerun, report) = run_cell_checkpointed(spec, 11, &ckpt).unwrap();
+        assert!(report.resumed);
+        assert_eq!(rerun, run);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn checkpointing_requires_a_directory() {
+        let cfg = SupervisorConfig {
+            checkpoint_every: 100,
+            ..SupervisorConfig::in_process(2)
+        };
+        match run_sweep_supervised(&toy_specs(), &[1], &cfg) {
+            Err(SweepError::BadConfig(_)) => {}
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_empty() {
+        let cfg = SupervisorConfig::in_process(4);
+        assert!(run_sweep_supervised(&[], &[1, 2], &cfg).unwrap().is_empty());
+        assert!(run_sweep_supervised(&toy_specs(), &[], &cfg)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -21,8 +21,10 @@ use serde::{Deserialize, Serialize};
 const POPULATION_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// One cell of a sweep grid: a named configuration to run for
-/// `minutes` on `kernel`.
-#[derive(Debug, Clone)]
+/// `minutes` on `kernel`. Serializable because the multi-process
+/// supervisor ([`crate::supervisor`]) ships specs to worker
+/// subprocesses over the frame protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// Stable name recorded on every run of this scenario.
     pub name: String,
@@ -52,14 +54,23 @@ pub struct ScenarioRun {
     pub metrics: SimMetrics,
 }
 
-/// Run one `(spec, seed)` cell to completion.
-pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> ScenarioRun {
+/// The population a `(spec, seed)` cell runs against — a pure function
+/// of the pair, which is what lets the checkpoint/replay machinery
+/// regenerate it on restore instead of serializing it.
+pub fn scenario_population(spec: &ScenarioSpec, seed: u64) -> Population {
+    let mut pop_rng = StdRng::seed_from_u64(seed ^ POPULATION_SALT);
+    Population::generate(&mut pop_rng, &spec.pop_cfg)
+}
+
+/// The fully-seeded [`Sim`] a `(spec, seed)` cell starts from.
+pub fn scenario_sim(spec: &ScenarioSpec, seed: u64) -> Sim {
     let mut cfg = spec.cfg.clone();
     cfg.seed = seed;
-    let mut pop_rng = StdRng::seed_from_u64(seed ^ POPULATION_SALT);
-    let pop = Population::generate(&mut pop_rng, &spec.pop_cfg);
-    let mut sim = Sim::with_kernel(cfg, pop, spec.kernel);
-    sim.run(spec.minutes);
+    Sim::with_kernel(cfg, scenario_population(spec, seed), spec.kernel)
+}
+
+/// Package a finished cell simulation into its [`ScenarioRun`].
+pub(crate) fn scenario_run(spec: &ScenarioSpec, seed: u64, sim: &Sim) -> ScenarioRun {
     ScenarioRun {
         scenario: spec.name.clone(),
         seed,
@@ -67,6 +78,13 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> ScenarioRun {
         stories: sim.stories().len(),
         metrics: sim.metrics().clone(),
     }
+}
+
+/// Run one `(spec, seed)` cell to completion.
+pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> ScenarioRun {
+    let mut sim = scenario_sim(spec, seed);
+    sim.run(spec.minutes);
+    scenario_run(spec, seed, &sim)
 }
 
 /// The outcome of one sweep cell under the panic-isolating runner:

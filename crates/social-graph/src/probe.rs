@@ -100,6 +100,25 @@ impl FanProbe {
         }
     }
 
+    /// Mark `u` reached directly, without streaming a CSR row; returns
+    /// `true` on first sighting. For checkpoint restore, which
+    /// re-inserts a serialized member list — analytics paths should go
+    /// through [`FanProbe::absorb_fans`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside the probe's capacity.
+    #[inline]
+    pub fn insert(&mut self, u: UserId) -> bool {
+        self.reached.insert(u)
+    }
+
+    /// The reached users in ascending [`UserId`] order. O(capacity);
+    /// see [`VisitBuffer::members`].
+    pub fn members(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.reached.members()
+    }
+
     /// Reset to the empty state in O(1) (amortised — see
     /// [`VisitBuffer::clear`]).
     pub fn clear(&mut self) {
@@ -165,6 +184,16 @@ mod tests {
         probe.ensure_capacity(4);
         assert_eq!(probe.capacity(), 8);
         assert!(!probe.contains(UserId(20)));
+    }
+
+    #[test]
+    fn members_report_the_reached_set_in_ascending_order() {
+        let g = graph();
+        let mut probe = FanProbe::new(&g);
+        probe.absorb_fans(&g, UserId(4), |_| {});
+        probe.absorb_fans(&g, UserId(0), |_| {});
+        let got: Vec<UserId> = probe.members().collect();
+        assert_eq!(got, vec![UserId(1), UserId(2), UserId(3), UserId(5)]);
     }
 
     #[test]

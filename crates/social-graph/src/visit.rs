@@ -93,6 +93,18 @@ impl VisitBuffer {
         self.stamps.get(u.index()).copied() == Some(self.epoch)
     }
 
+    /// The members in ascending [`UserId`] order. O(capacity) — meant
+    /// for serialization and debugging, not hot paths; the ordering is
+    /// deterministic regardless of insertion order, which is what
+    /// checkpoint writers need.
+    pub fn members(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.stamps
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == self.epoch)
+            .map(|(i, _)| UserId::from_index(i))
+    }
+
     /// Empty the set in O(1) (amortised; see type docs for the
     /// wrap-around case).
     pub fn clear(&mut self) {
@@ -140,6 +152,18 @@ mod tests {
         assert!(b.insert(UserId(4)));
         b.ensure_capacity(3); // never shrinks
         assert_eq!(b.capacity(), 5);
+    }
+
+    #[test]
+    fn members_iterate_ascending_regardless_of_insertion_order() {
+        let mut b = VisitBuffer::new(6);
+        for u in [5, 0, 3] {
+            b.insert(UserId(u));
+        }
+        let got: Vec<UserId> = b.members().collect();
+        assert_eq!(got, vec![UserId(0), UserId(3), UserId(5)]);
+        b.clear();
+        assert_eq!(b.members().count(), 0);
     }
 
     #[test]

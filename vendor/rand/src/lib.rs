@@ -232,6 +232,19 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The full xoshiro256++ state, for checkpointing. Restoring
+        /// via [`StdRng::from_state`] continues the sequence exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a captured [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
