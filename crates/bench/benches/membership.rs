@@ -1,0 +1,98 @@
+//! Measurement bench behind `social_graph::membership`'s dispatch
+//! constants.
+//!
+//! `is_fan_of_any` must answer "is any of these `c` candidates in this
+//! sorted friend row of length `d`?" and has four kernels to choose
+//! from: per-candidate binary search (O(c log d)), a two-pointer merge
+//! (O(d + c)), galloping search (O(c log(d/c))), and a bitset probe
+//! (O(c + d) with O(1) per-element cost and no sort requirement on the
+//! candidates). This bench sweeps the (d, c) grid the sweep workloads
+//! actually visit — friend rows from the power-law graph are mostly
+//! tens of entries with a heavy tail, candidate lists are either tiny
+//! (prior voters early in a story) or hundreds (late-story catch-up
+//! folds) — and prints per-kernel times. The crossover constants in
+//! `membership.rs` (`GALLOP_RATIO`, `BITSET_MIN_CANDIDATES`,
+//! `BITSET_MAX_ROW_FACTOR`) are set from this output; re-run with
+//! `cargo bench -p digg-bench --bench membership` after touching any
+//! kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use des_core::StreamRng;
+use rand::Rng;
+use social_graph::membership::{binary_probe, bitset_probe, galloping, two_pointer};
+use social_graph::{FanBitset, UserId};
+use std::hint::black_box;
+
+/// Id universe the rows are drawn from; matches the 1M-user scale
+/// graphs so row density per word is realistic for the bitset.
+const UNIVERSE: usize = 1_000_000;
+
+/// Sorted random id row of length `n`, keyed by `(stream, salt)`.
+fn sorted_row(n: usize, salt: u64) -> Vec<UserId> {
+    let mut rng = StreamRng::keyed(7, &[0x6d656d62, salt]);
+    let mut ids: Vec<u32> = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = rng.random_range(0..UNIVERSE as u32);
+        ids.push(id);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    while ids.len() < n {
+        let id = rng.random_range(0..UNIVERSE as u32);
+        ids.push(id);
+        ids.sort_unstable();
+        ids.dedup();
+    }
+    ids.into_iter().map(UserId).collect()
+}
+
+fn bench_membership(c: &mut Criterion) {
+    // (friend-row length d, candidate count c): the corners the
+    // dispatch heuristic has to rank correctly. Misses dominate real
+    // probes (most voters are not fans of a prior voter), so disjoint
+    // rows are the honest workload.
+    let grid: &[(usize, usize)] = &[
+        (16, 4),
+        (16, 64),
+        (128, 16),
+        (128, 128),
+        (1024, 16),
+        (1024, 128),
+        (1024, 1024),
+        (8192, 32),
+        (8192, 256),
+    ];
+    for &(d, cand) in grid {
+        let friends = sorted_row(d, d as u64);
+        let candidates = sorted_row(cand, 0x5a5a + cand as u64);
+        let mut scratch = FanBitset::new(UNIVERSE);
+        c.bench_function(&format!("membership/binary/d{d}/c{cand}"), |b| {
+            b.iter(|| black_box(binary_probe(black_box(&friends), black_box(&candidates))))
+        });
+        c.bench_function(&format!("membership/two_pointer/d{d}/c{cand}"), |b| {
+            b.iter(|| black_box(two_pointer(black_box(&friends), black_box(&candidates))))
+        });
+        c.bench_function(&format!("membership/galloping/d{d}/c{cand}"), |b| {
+            b.iter(|| black_box(galloping(black_box(&friends), black_box(&candidates))))
+        });
+        c.bench_function(&format!("membership/bitset/d{d}/c{cand}"), |b| {
+            b.iter(|| {
+                black_box(bitset_probe(
+                    black_box(&friends),
+                    black_box(&candidates),
+                    &mut scratch,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(150));
+    targets = bench_membership
+);
+criterion_main!(benches);

@@ -117,11 +117,20 @@ pub fn incremental_checkpoints(
     for voters in stories {
         incr.begin(graph);
         incr.reserve_votes(voters.len());
-        for &v in voters {
+        for (k, &v) in voters.iter().enumerate() {
+            // Touch a later voter's fan row so its offset and first
+            // target line are in flight while this vote is applied;
+            // the row fetch is a dependent DRAM+TLB chain that would
+            // otherwise stall the absorb. Distance 8 suffices and
+            // longer distances measure the same; `black_box` keeps
+            // the touch from being optimised away.
+            if let Some(&w) = voters.get(k + 8) {
+                std::hint::black_box(graph.fans(w).first());
+            }
             let applied = incr.apply_vote(graph, v);
             out.cascade += applied.cascade as u64;
             out.influence += applied.influence as u64;
-            if let Some(interesting) = incr.verdict(predictor) {
+            if let Some(interesting) = incr.verdict_streaming(predictor) {
                 out.windows += 1;
                 out.interesting += interesting as u64;
             }

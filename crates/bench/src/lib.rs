@@ -50,6 +50,7 @@ pub mod baseline;
 pub mod checkpoint;
 pub mod degradation;
 pub mod incr;
+pub mod mmap;
 pub mod registry;
 pub mod scale;
 pub mod sweeps;

@@ -379,6 +379,13 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         },
     },
     ExperimentSpec {
+        name: "mmap_sweep",
+        about: "mmap-backed CSR snapshot: O(1) load, bit-identity vs in-memory, out-of-core sweeps",
+        runner: Runner::Standalone {
+            run: crate::mmap::run_mmap_sweep,
+        },
+    },
+    ExperimentSpec {
         name: "checkpoint_sweep",
         about: "kill-and-recover supervised sweep (byte-identity) + checkpoint overhead + snapshot scale",
         runner: Runner::Standalone {

@@ -29,7 +29,7 @@ use crate::timing::time_ms;
 use des_core::StreamRng;
 use digg_core::worker_threads;
 use rand::Rng;
-use social_graph::{GraphBuilder, SocialGraph, UserId};
+use social_graph::{GraphBuilder, UserId};
 
 /// Stream salts for the deterministic workload generators.
 const EDGE_STREAM: u64 = 0x0053_4341_4c45_5f45; // "SCALE_E"
@@ -138,7 +138,7 @@ pub fn scale_edge_list(
 }
 
 /// Deterministic sweep batch: `stories` voter lists of distinct users.
-fn story_batch(seed: u64, params: &ScaleParams) -> Vec<Vec<UserId>> {
+pub fn story_batch(seed: u64, params: &ScaleParams) -> Vec<Vec<UserId>> {
     (0..params.stories)
         .map(|i| {
             let mut rng = StreamRng::keyed(seed, &[STORY_STREAM, i as u64]);
@@ -154,13 +154,21 @@ fn story_batch(seed: u64, params: &ScaleParams) -> Vec<Vec<UserId>> {
         .collect()
 }
 
-fn builder_from(users: usize, edges: &[(UserId, UserId)]) -> GraphBuilder {
+/// Builder primed with the scale edge list (shared with `mmap_sweep`).
+pub fn builder_from(users: usize, edges: &[(UserId, UserId)]) -> GraphBuilder {
     let mut b = GraphBuilder::new(users);
     b.extend_watches(edges.iter().copied());
     b
 }
 
-fn sweep_totals(graph: &SocialGraph, stories: &[Vec<UserId>], threads: usize) -> (u64, u64) {
+/// Batch story sweeps against any [`FanView`] graph — the in-memory
+/// CSR here, the mmap-backed [`social_graph::GraphMap`] in
+/// `mmap_sweep` — returning the `(in-network, influence)` checksums.
+pub fn sweep_totals<G: social_graph::FanView + Sync>(
+    graph: &G,
+    stories: &[Vec<UserId>],
+    threads: usize,
+) -> (u64, u64) {
     // The fallible fan-out: a panicking shard surfaces as an
     // aggregated WorkerPanic naming the failed shards instead of
     // poisoning a join handle mid-batch.

@@ -61,7 +61,9 @@ pub fn cumulative_cascade(graph: &SocialGraph, voters: &[UserId]) -> Vec<usize> 
     StorySweeper::new(graph)
         .sweep(graph, voters)
         .cascade()
-        .to_vec()
+        .iter()
+        .map(|&v| v as usize)
+        .collect()
 }
 
 /// Fraction of the first `n` post-submitter votes that are

@@ -64,9 +64,11 @@ impl StoryFeatures {
     }
 
     /// The learner's attribute vector, aligned with
-    /// [`StoryFeatures::attribute_names`].
-    pub fn values(&self) -> Vec<f64> {
-        vec![self.v10 as f64, self.fans1 as f64]
+    /// [`StoryFeatures::attribute_names`]. A fixed-size array: the
+    /// per-vote verdict path calls this once per arrival, so it must
+    /// not heap-allocate.
+    pub fn values(&self) -> [f64; 2] {
+        [self.v10 as f64, self.fans1 as f64]
     }
 
     /// Attribute names for the paper's model.
@@ -76,8 +78,8 @@ impl StoryFeatures {
 
     /// Extended attribute vector for the feature-ablation bench
     /// (ABL1), aligned with [`StoryFeatures::extended_attribute_names`].
-    pub fn extended_values(&self) -> Vec<f64> {
-        vec![
+    pub fn extended_values(&self) -> [f64; 4] {
+        [
             self.v6 as f64,
             self.v10 as f64,
             self.v20 as f64,
@@ -178,7 +180,7 @@ pub fn build_training_set_with(
         let Some(label) = r.is_interesting(threshold) else {
             continue;
         };
-        ds.push(Instance::new(f.values(), label));
+        ds.push(Instance::new(f.values().to_vec(), label));
         kept.push(i);
     }
     (ds, kept)

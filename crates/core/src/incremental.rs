@@ -27,10 +27,11 @@
 use crate::features::StoryFeatures;
 use crate::predictor::InterestingnessPredictor;
 use crate::story_metrics::StorySweep;
+use digg_ml::stream::StreamingPrediction;
 use digg_snapshot::{
     ByteReader, ByteWriter, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
 };
-use social_graph::{FanProbe, SocialGraph, UserId, VisitBuffer};
+use social_graph::{FanBitset, FanProbe, FanView, UserId};
 
 /// The incremental story-analytics state machine. Construct once (or
 /// once per worker), call [`begin`](IncrementalSweep::begin) per story,
@@ -62,19 +63,33 @@ pub struct IncrementalSweep {
     /// everyone who has voted so far.
     reached: FanProbe,
     /// Users who have voted so far.
-    voted: VisitBuffer,
+    voted: FanBitset,
+    /// One-cache-line (512-bit) summary of `voted`, keyed by
+    /// `id % 512`: a clear bit proves the user has not voted, so the
+    /// audience accounting in the absorb hot loop — which tests a
+    /// random fan against a voter set of at most a few hundred —
+    /// resolves from L1 instead of touching the full bitset. A set
+    /// bit says nothing; the bitset confirms.
+    voted_filter: [u64; 8],
     /// The accumulated per-vote series (what a batch sweep of the
     /// applied prefix would have produced).
     out: StorySweep,
-    /// Current influence: `|reached \ voted|`.
-    audience: usize,
+    /// Current influence: `|reached \ voted|`. `u32` deliberately:
+    /// this is the unit the SoA output columns store, and audiences
+    /// are bounded by the u32 user count.
+    audience: u32,
     /// Current cascade: in-network votes so far (submitter excluded).
-    cascade: usize,
+    /// Bounded by the number of votes, which the u32 columns carry.
+    cascade: u32,
     /// Fan count of the first applied voter (the paper's `fans1`),
     /// captured when the submitter's vote is applied.
     fans1: usize,
     /// Votes applied since the last `begin` (submitter included).
     votes_applied: usize,
+    /// Cached decision path for
+    /// [`verdict_streaming`](IncrementalSweep::verdict_streaming):
+    /// derived state, reset by `begin` and excluded from snapshots.
+    stream: Option<StreamingPrediction>,
 }
 
 /// What one [`IncrementalSweep::apply_vote`] changed — the derived
@@ -94,7 +109,7 @@ pub struct VoteApplied {
 
 impl IncrementalSweep {
     /// A state machine sized for `graph`.
-    pub fn new(graph: &SocialGraph) -> IncrementalSweep {
+    pub fn new<G: FanView>(graph: &G) -> IncrementalSweep {
         IncrementalSweep::for_users(graph.user_count())
     }
 
@@ -102,22 +117,25 @@ impl IncrementalSweep {
     pub fn for_users(n: usize) -> IncrementalSweep {
         IncrementalSweep {
             reached: FanProbe::for_users(n),
-            voted: VisitBuffer::new(n),
+            voted: FanBitset::new(n),
+            voted_filter: [0; 8],
             out: StorySweep::default(),
             audience: 0,
             cascade: 0,
             fans1: 0,
             votes_applied: 0,
+            stream: None,
         }
     }
 
     /// Start a new story: O(1) scratch reset (plus capacity growth if
     /// `graph` gained users since the last story).
-    pub fn begin(&mut self, graph: &SocialGraph) {
+    pub fn begin<G: FanView>(&mut self, graph: &G) {
         self.reached.ensure_capacity(graph.user_count());
         self.voted.ensure_capacity(graph.user_count());
         self.reached.clear();
         self.voted.clear();
+        self.voted_filter = [0; 8];
         self.out.flags.clear();
         self.out.cascade.clear();
         self.out.influence.clear();
@@ -125,6 +143,7 @@ impl IncrementalSweep {
         self.cascade = 0;
         self.fans1 = 0;
         self.votes_applied = 0;
+        self.stream = None;
     }
 
     /// Pre-size the output series for `n` more votes (perf only; the
@@ -146,7 +165,7 @@ impl IncrementalSweep {
     ///
     /// Panics if `v` is out of range for `graph` (ids come from the
     /// graph the story was scraped against).
-    pub fn apply_vote(&mut self, graph: &SocialGraph, v: UserId) -> VoteApplied {
+    pub fn apply_vote<G: FanView>(&mut self, graph: &G, v: UserId) -> VoteApplied {
         let position = self.votes_applied;
         let mut in_network = None;
         if position > 0 {
@@ -164,12 +183,17 @@ impl IncrementalSweep {
         if self.voted.insert(v) && self.reached.contains(v) {
             self.audience -= 1;
         }
+        self.voted_filter[(v.index() >> 6) & 7] |= 1u64 << (v.index() & 63);
         // Newly reached non-voters join the audience; split borrows so
-        // the probe's first-sighting hook can read the voter set.
+        // the probe's first-sighting hook can read the voter set. The
+        // filter screens the common case (a fan who has never voted)
+        // without leaving L1.
         let voted = &self.voted;
+        let filter = &self.voted_filter;
         let audience = &mut self.audience;
         self.reached.absorb_fans(graph, v, |f| {
-            if !voted.contains(f) {
+            let maybe_voted = filter[(f.index() >> 6) & 7] & (1u64 << (f.index() & 63)) != 0;
+            if !(maybe_voted && voted.contains(f)) {
                 *audience += 1;
             }
         });
@@ -178,8 +202,8 @@ impl IncrementalSweep {
         VoteApplied {
             position,
             in_network,
-            cascade: self.cascade,
-            influence: self.audience,
+            cascade: self.cascade as usize,
+            influence: self.audience as usize,
         }
     }
 
@@ -220,10 +244,34 @@ impl IncrementalSweep {
     pub fn verdict(&self, predictor: &InterestingnessPredictor) -> Option<bool> {
         self.features().map(|f| predictor.predict_features(&f))
     }
+
+    /// [`verdict`](IncrementalSweep::verdict) through digg-ml's cached
+    /// decision path — the per-vote fast path. The first call after
+    /// the 10-vote window opens walks the tree once and caches the
+    /// `attr <= threshold` tests it took; later calls re-walk only
+    /// when an updated attribute crosses one of those thresholds.
+    /// Always equal to [`verdict`](IncrementalSweep::verdict), which
+    /// the bit-identity proptests pin.
+    ///
+    /// The cached path belongs to `predictor`'s tree: pass the same
+    /// predictor for the life of a story (the cache resets at
+    /// [`begin`](IncrementalSweep::begin)).
+    pub fn verdict_streaming(&mut self, predictor: &InterestingnessPredictor) -> Option<bool> {
+        let f = self.features()?;
+        Some(match self.stream.as_mut() {
+            Some(s) => predictor.predict_update(s, &f),
+            None => {
+                let s = predictor.predict_stream(&f);
+                let v = s.verdict();
+                self.stream = Some(s);
+                v
+            }
+        })
+    }
 }
 
 /// What an [`IncrementalSweep`] snapshot carries vs rebuilds: the
-/// epoch-stamped scratch sets ([`FanProbe`], [`VisitBuffer`]) are
+/// epoch-stamped scratch sets ([`FanProbe`], [`FanBitset`]) are
 /// serialized as their **member lists in ascending id order** — the
 /// epochs and stamp array are an allocation-reuse detail whose values
 /// depend on how many stories the instance has already streamed, so
@@ -236,8 +284,8 @@ impl Snapshot for IncrementalSweep {
 
         let mut w = ByteWriter::new();
         w.put_usize(self.voted.capacity());
-        w.put_usize(self.audience);
-        w.put_usize(self.cascade);
+        w.put_usize(self.audience as usize);
+        w.put_usize(self.cascade as usize);
         w.put_usize(self.fans1);
         w.put_usize(self.votes_applied);
         c.section("state", w.into_bytes());
@@ -263,11 +311,11 @@ impl Snapshot for IncrementalSweep {
         }
         w.put_usize(self.out.cascade.len());
         for &v in &self.out.cascade {
-            w.put_usize(v);
+            w.put_usize(v as usize);
         }
         w.put_usize(self.out.influence.len());
         for &v in &self.out.influence {
-            w.put_usize(v);
+            w.put_usize(v as usize);
         }
         c.section("sweep", w.into_bytes());
 
@@ -283,8 +331,12 @@ impl Restore for IncrementalSweep {
 
         let mut r = c.section_reader("state")?;
         let capacity = r.get_usize()?;
-        let audience = r.get_usize()?;
-        let cascade = r.get_usize()?;
+        let narrow = |v: usize, what: &str| {
+            u32::try_from(v)
+                .map_err(|_| SnapshotError::Malformed(format!("{what} {v} exceeds u32 range")))
+        };
+        let audience = narrow(r.get_usize()?, "audience")?;
+        let cascade = narrow(r.get_usize()?, "cascade")?;
         let fans1 = r.get_usize()?;
         let votes_applied = r.get_usize()?;
 
@@ -325,12 +377,12 @@ impl Restore for IncrementalSweep {
         let nc = r.get_usize()?;
         let mut cascade_series = Vec::with_capacity(nc.min(1 << 20));
         for _ in 0..nc {
-            cascade_series.push(r.get_usize()?);
+            cascade_series.push(narrow(r.get_usize()?, "cascade entry")?);
         }
         let ni = r.get_usize()?;
         let mut influence = Vec::with_capacity(ni.min(1 << 20));
         for _ in 0..ni {
-            influence.push(r.get_usize()?);
+            influence.push(narrow(r.get_usize()?, "influence entry")?);
         }
 
         // The series lengths are a pure function of votes_applied:
@@ -353,17 +405,20 @@ impl Restore for IncrementalSweep {
         }
 
         let mut reached = FanProbe::for_users(capacity);
-        let mut voted = VisitBuffer::new(capacity);
+        let mut voted = FanBitset::new(capacity);
+        let mut voted_filter = [0u64; 8];
         for &u in &reached_members {
             reached.insert(u);
         }
         for &u in &voted_members {
             voted.insert(u);
+            voted_filter[(u.index() >> 6) & 7] |= 1u64 << (u.index() & 63);
         }
 
         Ok(IncrementalSweep {
             reached,
             voted,
+            voted_filter,
             out: StorySweep {
                 flags,
                 cascade: cascade_series,
@@ -373,6 +428,9 @@ impl Restore for IncrementalSweep {
             cascade,
             fans1,
             votes_applied,
+            // The decision-path cache is derived state; the next
+            // streaming verdict rebuilds it with one tree walk.
+            stream: None,
         })
     }
 }
@@ -382,7 +440,7 @@ mod tests {
     use super::*;
     use crate::predictor::fig5_predictor;
     use crate::story_metrics::StorySweeper;
-    use social_graph::GraphBuilder;
+    use social_graph::{GraphBuilder, SocialGraph};
 
     /// Fans: 0 <- {1, 2, 3}; 4 <- {5, 6}; 1 <- {2}.
     fn graph() -> SocialGraph {
@@ -565,5 +623,32 @@ mod tests {
         // v10 = 5 (fans 1..=5), fans1 = 5: v10 > 4, v10 <= 8,
         // fans1 <= 85 -> not interesting.
         assert_eq!(incr.verdict(&p), Some(false));
+    }
+
+    #[test]
+    fn streaming_verdict_equals_fresh_verdict_at_every_vote() {
+        let mut b = GraphBuilder::new(64);
+        for f in 1..=5 {
+            b.add_watch(UserId(f), UserId(0));
+        }
+        for f in 6..=9 {
+            b.add_watch(UserId(f), UserId(1));
+        }
+        let g = b.build();
+        let p = fig5_predictor();
+        let mut incr = IncrementalSweep::new(&g);
+        // Two stories through one instance: the decision-path cache
+        // must reset at `begin`, not leak across stories.
+        for story in 0..2u32 {
+            incr.begin(&g);
+            for v in 0..40u32 {
+                incr.apply_vote(&g, UserId((v * 7 + story) % 64));
+                assert_eq!(
+                    incr.verdict_streaming(&p),
+                    incr.verdict(&p),
+                    "story {story}, vote {v}"
+                );
+            }
+        }
     }
 }

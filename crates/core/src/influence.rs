@@ -36,7 +36,9 @@ pub fn influence_trajectory(graph: &SocialGraph, voters: &[UserId]) -> Vec<usize
     StorySweeper::new(graph)
         .sweep(graph, voters)
         .influence()
-        .to_vec()
+        .iter()
+        .map(|&v| v as usize)
+        .collect()
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ impl StoryPrefixes {
         let window = record.voters.len().min(21);
         let sweep = sweeper.sweep(graph, &record.voters[..window]);
         StoryPrefixes {
-            cascade: sweep.cascade().to_vec(),
+            cascade: sweep.cascade().iter().map(|&v| v as usize).collect(),
             fans1: graph.fan_count(record.submitter),
             scraped_votes: record.voters.len(),
         }

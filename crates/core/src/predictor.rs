@@ -82,7 +82,7 @@ impl InterestingnessPredictor {
     /// as votes arrive: same-side attribute ticks resolve from the
     /// cached decision path without walking the tree.
     pub fn predict_stream(&self, features: &StoryFeatures) -> StreamingPrediction {
-        StreamingPrediction::new(&self.tree, features.values())
+        StreamingPrediction::new(&self.tree, features.values().to_vec())
     }
 
     /// Fold updated features into a streaming verdict; always equal

@@ -26,7 +26,7 @@
 //! through it.
 
 use crate::incremental::IncrementalSweep;
-use social_graph::{SocialGraph, UserId};
+use social_graph::{FanView, UserId};
 
 /// Reusable sweep engine. Construct once per thread (scratch size is
 /// the graph's user count) and call [`StorySweeper::sweep`] per story.
@@ -45,13 +45,16 @@ pub struct StorySweeper {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StorySweep {
     pub(crate) flags: Vec<bool>,
-    pub(crate) cascade: Vec<usize>,
-    pub(crate) influence: Vec<usize>,
+    /// Structure-of-arrays columns: `u32` per entry, half the memory
+    /// traffic of `usize` on the per-vote push path (values are
+    /// bounded by the u32 user count / vote count).
+    pub(crate) cascade: Vec<u32>,
+    pub(crate) influence: Vec<u32>,
 }
 
 impl StorySweeper {
     /// A sweeper sized for `graph`.
-    pub fn new(graph: &SocialGraph) -> StorySweeper {
+    pub fn new<G: FanView>(graph: &G) -> StorySweeper {
         StorySweeper::for_users(graph.user_count())
     }
 
@@ -65,7 +68,7 @@ impl StorySweeper {
     /// Sweep one story's chronological voter list (submitter first).
     /// O(Σ fan-degree of voters); no allocation once the output
     /// vectors have grown to the story size.
-    pub fn sweep(&mut self, graph: &SocialGraph, voters: &[UserId]) -> &StorySweep {
+    pub fn sweep<G: FanView>(&mut self, graph: &G, voters: &[UserId]) -> &StorySweep {
         self.incr.begin(graph);
         self.incr.reserve_votes(voters.len());
         for &v in voters {
@@ -84,14 +87,16 @@ impl StorySweep {
     }
 
     /// Cumulative in-network counts; entry `k` is the cascade size
-    /// after `k + 1` post-submitter votes.
-    pub fn cascade(&self) -> &[usize] {
+    /// after `k + 1` post-submitter votes. `u32` entries — the SoA
+    /// column layout; widen at the consumer when a `usize` is needed.
+    pub fn cascade(&self) -> &[u32] {
         &self.cascade
     }
 
     /// Influence after each voter; entry `k` is the Friends-interface
-    /// audience after `k + 1` voters (submitter included).
-    pub fn influence(&self) -> &[usize] {
+    /// audience after `k + 1` voters (submitter included). `u32`
+    /// entries, as [`StorySweep::cascade`].
+    pub fn influence(&self) -> &[u32] {
         &self.influence
     }
 
@@ -105,7 +110,7 @@ impl StorySweep {
     pub fn in_network_count_within(&self, n: usize) -> usize {
         match n.min(self.cascade.len()) {
             0 => 0,
-            m => self.cascade[m - 1],
+            m => self.cascade[m - 1] as usize,
         }
     }
 
@@ -114,13 +119,13 @@ impl StorySweep {
     pub fn influence_after(&self, k: usize) -> usize {
         match k.min(self.influence.len()) {
             0 => 0,
-            m => self.influence[m - 1],
+            m => self.influence[m - 1] as usize,
         }
     }
 
     /// Final cascade size (all post-submitter votes).
     pub fn final_cascade(&self) -> usize {
-        self.cascade.last().copied().unwrap_or(0)
+        self.cascade.last().copied().unwrap_or(0) as usize
     }
 }
 
@@ -146,13 +151,14 @@ pub use des_core::par::{
 /// the sweeper is epoch-stamped scratch, so reusing it across a
 /// shard's stories cannot leak state between items — the precondition
 /// that keeps `try_par_map_with` thread-count invariant.
-pub fn try_sweep_map<T, R, F>(
-    graph: &SocialGraph,
+pub fn try_sweep_map<G, T, R, F>(
+    graph: &G,
     items: &[T],
     threads: usize,
     f: F,
 ) -> Result<Vec<R>, WorkerPanic>
 where
+    G: FanView + Sync,
     T: Sync,
     R: Send,
     F: Fn(&mut StorySweeper, &T) -> R + Sync,
@@ -167,8 +173,9 @@ where
 ///
 /// Layered on [`try_sweep_map`]: a worker panic (a bug in `f`) is
 /// re-raised here with the aggregated shard report.
-pub fn sweep_map<T, R, F>(graph: &SocialGraph, items: &[T], threads: usize, f: F) -> Vec<R>
+pub fn sweep_map<G, T, R, F>(graph: &G, items: &[T], threads: usize, f: F) -> Vec<R>
 where
+    G: FanView + Sync,
     T: Sync,
     R: Send,
     F: Fn(&mut StorySweeper, &T) -> R + Sync,
@@ -183,7 +190,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use social_graph::GraphBuilder;
+    use social_graph::{GraphBuilder, SocialGraph};
 
     /// Fans: 0 <- {1, 2, 3}; 4 <- {5, 6}; 1 <- {2}.
     fn graph() -> SocialGraph {
@@ -223,7 +230,7 @@ mod tests {
         assert_eq!(s.in_network_count_within(99), 2);
         assert_eq!(s.influence_after(0), 0);
         assert_eq!(s.influence_after(1), 3);
-        assert_eq!(s.influence_after(99), s.influence()[3]);
+        assert_eq!(s.influence_after(99), s.influence()[3] as usize);
     }
 
     #[test]

@@ -13,21 +13,50 @@
 //!   of the schedule-call sequence, never of heap internals.
 //!
 //! Cancel and reschedule are O(log n) amortised without heap surgery:
-//! the `live` map holds the authoritative `seq` per [`EventId`], and a
-//! popped heap entry whose seq no longer matches is a tombstone,
-//! skipped silently.
+//! a **slab** of slots holds the authoritative `(generation, seq)` per
+//! [`EventId`], and a popped heap entry whose slot no longer matches
+//! is a tombstone, skipped silently.
+//!
+//! ## The slab
+//!
+//! Live payloads used to live in a `HashMap<u64, LiveEvent<T>>`; every
+//! schedule hashed a key and chased buckets, and a simulation
+//! scheduling millions of exposure events churned the map's
+//! allocations. The slab replaces that with a `Vec` of slots plus a
+//! LIFO free list: an [`EventId`] packs `(generation << 32) | slot`,
+//! so resolving a handle is one bounds-checked index plus a generation
+//! compare, scheduling pops the free list (or appends a slot), and
+//! firing or cancelling pushes it back with the generation bumped —
+//! which is what keeps freed ids from ever resolving again. A slot
+//! whose generation would wrap is retired instead of reused, so id
+//! uniqueness is unconditional.
 
 use digg_snapshot::{
     ByteWriter, Codec, Restore, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 /// Stable handle to a scheduled event, usable to cancel or reschedule
-/// it until it fires. Ids are never reused within one queue.
+/// it until it fires. Ids are never reused within one queue: the high
+/// 32 bits carry the slot's generation, the low 32 bits the slab slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn pack(slot: u32, generation: u32) -> EventId {
+        EventId((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        // digg-lint: allow(no-truncating-cast) — extracting the upper 32-bit field of the packed id
+        (self.0 >> 32) as u32
+    }
+}
 
 /// A fired event, as returned by [`EventQueue::pop`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,22 +67,33 @@ pub struct Event<T> {
     pub payload: T,
 }
 
-struct LiveEvent<T> {
-    seq: u64,
-    payload: T,
+/// One slab slot. `generation` counts how many times the slot has been
+/// freed; an [`EventId`] resolves only while its generation field
+/// matches.
+struct Slot<T> {
+    generation: u32,
+    state: SlotState<T>,
+}
+
+enum SlotState<T> {
+    Free,
+    Occupied { seq: u64, payload: T },
 }
 
 /// Deterministic priority queue of events carrying payloads of type
-/// `T`. See the module docs for the ordering contract.
+/// `T`. See the module docs for the ordering contract and the slab
+/// layout.
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<(u64, u8, u64, EventId)>>,
-    /// HashMap is safe here (determinism audit, DESIGN.md §13): it is
-    /// only ever keyed lookups/removals driven by the heap's total
-    /// order — nothing iterates it, and the snapshot path below sorts
-    /// live events by (time, class, seq) before encoding.
-    // digg-lint: allow(no-unordered-serialize) — snapshot encodes live events in (time, class, seq) order, never map order
-    live: HashMap<u64, LiveEvent<T>>,
-    next_id: u64,
+    /// Slab of event slots; `EventId::slot` indexes it directly.
+    slots: Vec<Slot<T>>,
+    /// Freed slot indices, reused LIFO (the hottest slot stays
+    /// cache-warm). Slots whose generation saturated are retired and
+    /// never re-enter this list.
+    free: Vec<u32>,
+    /// Number of occupied slots, maintained incrementally so `len` is
+    /// O(1).
+    live_len: usize,
     next_seq: u64,
 }
 
@@ -67,42 +107,86 @@ impl<T> EventQueue<T> {
     pub fn new() -> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
-            live: HashMap::new(),
-            next_id: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live_len: 0,
             next_seq: 0,
         }
     }
 
     /// Number of live (scheduled, not cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live_len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live_len == 0
     }
 
     /// Schedule `payload` at `(time, class)`; later schedules at the
     /// same `(time, class)` fire after this one (FIFO).
     pub fn schedule(&mut self, time: u64, class: u8, payload: T) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.push(id, time, class, payload);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    state: SlotState::Free,
+                });
+                // digg-lint: allow(no-lib-unwrap) — the packed-id layout caps the slab at u32 slots; beyond it is a programmer error
+                u32::try_from(self.slots.len() - 1).expect("event slab exceeds u32 slots")
+            }
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = &mut self.slots[slot as usize];
+        debug_assert!(matches!(entry.state, SlotState::Free));
+        entry.state = SlotState::Occupied { seq, payload };
+        self.live_len += 1;
+        let id = EventId::pack(slot, entry.generation);
+        self.heap.push(Reverse((time, class, seq, id)));
         id
     }
 
-    fn push(&mut self, id: EventId, time: u64, class: u8, payload: T) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Reverse((time, class, seq, id)));
-        self.live.insert(id.0, LiveEvent { seq, payload });
+    /// Free a slot after its event fired or was cancelled: bump the
+    /// generation (invalidating every outstanding copy of the id) and
+    /// recycle the index — unless the generation saturated, in which
+    /// case the slot is retired.
+    fn release(&mut self, slot: usize) {
+        let entry = &mut self.slots[slot];
+        entry.state = SlotState::Free;
+        entry.generation += 1;
+        self.live_len -= 1;
+        if entry.generation < u32::MAX {
+            // digg-lint: allow(no-truncating-cast) — slot indices are allocated below u32::MAX by construction
+            self.free.push(slot as u32);
+        }
+    }
+
+    /// The slot behind `id`, if the id is still live.
+    fn resolve(&self, id: EventId) -> Option<usize> {
+        let slot = id.slot();
+        match self.slots.get(slot) {
+            Some(e) if e.generation == id.generation() => match e.state {
+                SlotState::Occupied { .. } => Some(slot),
+                SlotState::Free => None,
+            },
+            _ => None,
+        }
     }
 
     /// Cancel a pending event, returning its payload; `None` if it
     /// already fired or was cancelled. The heap entry is left behind as
     /// a tombstone and skipped on pop.
     pub fn cancel(&mut self, id: EventId) -> Option<T> {
-        self.live.remove(&id.0).map(|e| e.payload)
+        let slot = self.resolve(id)?;
+        let state = std::mem::replace(&mut self.slots[slot].state, SlotState::Free);
+        let SlotState::Occupied { payload, .. } = state else {
+            // resolve only returns occupied slots.
+            return None;
+        };
+        self.release(slot);
+        Some(payload)
     }
 
     /// Move a pending event to a new `(time, class)`, keeping its id
@@ -110,13 +194,20 @@ impl<T> EventQueue<T> {
     /// FIFO order as if scheduled now. Returns false if the id is no
     /// longer live.
     pub fn reschedule(&mut self, id: EventId, time: u64, class: u8) -> bool {
-        match self.live.remove(&id.0) {
-            Some(e) => {
-                self.push(id, time, class, e.payload);
-                true
-            }
-            None => false,
-        }
+        let Some(slot) = self.resolve(id) else {
+            return false;
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let SlotState::Occupied { seq: s, .. } = &mut self.slots[slot].state else {
+            // resolve only returns occupied slots.
+            return false;
+        };
+        // The old heap entry keeps the stale seq and becomes a
+        // tombstone; the id itself stays valid (same generation).
+        *s = seq;
+        self.heap.push(Reverse((time, class, seq, id)));
+        true
     }
 
     /// Fire time of the next live event, without popping it.
@@ -129,56 +220,74 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<Event<T>> {
         self.skim_tombstones();
         let Reverse((time, class, _seq, id)) = self.heap.pop()?;
-        let e = self
-            .live
-            .remove(&id.0)
-            // digg-lint: allow(no-lib-unwrap) — heap/live-map coherence invariant: skim_tombstones just dropped every dead head
-            .expect("skim_tombstones left a live head");
+        let slot = id.slot();
+        let state = std::mem::replace(&mut self.slots[slot].state, SlotState::Free);
+        let SlotState::Occupied { payload, .. } = state else {
+            // digg-lint: allow(no-lib-unwrap) — heap/slab coherence invariant: skim_tombstones just dropped every dead head
+            unreachable!("skim_tombstones left a dead head");
+        };
+        self.release(slot);
         Some(Event {
             time,
             class,
             id,
-            payload: e.payload,
+            payload,
         })
     }
 
-    /// Drop stale heap entries (cancelled, or superseded by a
+    /// Drop stale heap entries (cancelled, fired, or superseded by a
     /// reschedule) until the head is live.
     fn skim_tombstones(&mut self) {
         while let Some(Reverse((_, _, seq, id))) = self.heap.peek() {
-            match self.live.get(&id.0) {
-                Some(e) if e.seq == *seq => return,
-                _ => {
-                    self.heap.pop();
-                }
+            let live = self
+                .slots
+                .get(id.slot())
+                .filter(|e| e.generation == id.generation())
+                .map(|e| matches!(e.state, SlotState::Occupied { seq: s, .. } if s == *seq))
+                .unwrap_or(false);
+            if live {
+                return;
             }
+            self.heap.pop();
         }
     }
 }
 
 impl<T: Codec> Snapshot for EventQueue<T> {
-    /// Serialized: live events (with their original ids and seqs, so a
-    /// restored queue honours outstanding [`EventId`] handles and keeps
-    /// FIFO ties exactly), `next_id`, `next_seq`. Dropped: tombstoned
-    /// heap entries — they are unobservable, and skipping them keeps
-    /// snapshots proportional to *live* events.
+    /// Serialized: the full slab shape — `next_seq`, every slot's
+    /// generation, the free list verbatim — plus the live events (with
+    /// their original ids and seqs) sorted by the queue's own total
+    /// order. Carrying the slab shape is what makes a restored queue
+    /// allocate *future* ids identically to the original (the
+    /// checkpoint/replay bit-identity contract); what is still dropped
+    /// are tombstoned heap entries, which are unobservable.
     fn snapshot(&self) -> Vec<u8> {
-        // Heap iteration order is arbitrary; filter to seq-matching
-        // (live) entries and sort by the queue's own total order.
         let mut entries: Vec<(u64, u8, u64, u64, &T)> = self
             .heap
             .iter()
             .filter_map(|&Reverse((time, class, seq, id))| {
-                self.live
-                    .get(&id.0)
-                    .filter(|e| e.seq == seq)
-                    .map(|e| (time, class, seq, id.0, &e.payload))
+                self.slots
+                    .get(id.slot())
+                    .filter(|e| e.generation == id.generation())
+                    .and_then(|e| match &e.state {
+                        SlotState::Occupied { seq: s, payload } if *s == seq => {
+                            Some((time, class, seq, id.0, payload))
+                        }
+                        _ => None,
+                    })
             })
             .collect();
         entries.sort_unstable_by_key(|&(time, class, seq, id, _)| (time, class, seq, id));
         let mut w = ByteWriter::new();
-        w.put_u64(self.next_id);
         w.put_u64(self.next_seq);
+        w.put_usize(self.slots.len());
+        for s in &self.slots {
+            w.put_u32(s.generation);
+        }
+        w.put_usize(self.free.len());
+        for &f in &self.free {
+            w.put_u32(f);
+        }
         w.put_usize(entries.len());
         for (time, class, seq, id, payload) in entries {
             w.put_u64(time);
@@ -199,32 +308,79 @@ impl<T: Codec> Restore for EventQueue<T> {
     fn restore(bytes: &[u8], _ctx: ()) -> Result<EventQueue<T>, SnapshotError> {
         let reader = SnapshotReader::parse(bytes)?;
         let mut r = reader.section_reader("events")?;
-        let next_id = r.get_u64()?;
         let next_seq = r.get_u64()?;
-        let count = r.get_usize()?;
+        let slot_count = r.get_usize()?;
         let mut q = EventQueue::new();
+        q.slots.reserve(slot_count.min(1 << 20));
+        for _ in 0..slot_count {
+            q.slots.push(Slot {
+                generation: r.get_u32()?,
+                state: SlotState::Free,
+            });
+        }
+        let free_count = r.get_usize()?;
+        let mut on_free = vec![false; slot_count];
+        for _ in 0..free_count {
+            let f = r.get_u32()?;
+            let fi = f as usize;
+            if fi >= slot_count {
+                return Err(SnapshotError::Malformed(format!(
+                    "free-list slot {f} beyond slab size {slot_count}"
+                )));
+            }
+            if std::mem::replace(&mut on_free[fi], true) {
+                return Err(SnapshotError::Malformed(format!(
+                    "free-list slot {f} listed twice"
+                )));
+            }
+            q.free.push(f);
+        }
+        let count = r.get_usize()?;
         for _ in 0..count {
             let time = r.get_u64()?;
             let class = r.get_u8()?;
             let seq = r.get_u64()?;
-            let id = r.get_u64()?;
+            let id = EventId(r.get_u64()?);
             let payload = T::decode(&mut r)?;
-            if id >= next_id || seq >= next_seq {
+            if seq >= next_seq {
                 return Err(SnapshotError::Malformed(format!(
-                    "event id {id}/seq {seq} not below next_id {next_id}/next_seq {next_seq}"
+                    "event seq {seq} not below next_seq {next_seq}"
                 )));
             }
-            if q.live.insert(id, LiveEvent { seq, payload }).is_some() {
-                return Err(SnapshotError::Malformed(format!("duplicate event id {id}")));
+            let slot = id.slot();
+            if slot >= slot_count {
+                return Err(SnapshotError::Malformed(format!(
+                    "event slot {slot} beyond slab size {slot_count}"
+                )));
             }
-            q.heap.push(Reverse((time, class, seq, EventId(id))));
+            if on_free[slot] {
+                return Err(SnapshotError::Malformed(format!(
+                    "event slot {slot} is also on the free list"
+                )));
+            }
+            let entry = &mut q.slots[slot];
+            if entry.generation != id.generation() {
+                return Err(SnapshotError::Malformed(format!(
+                    "event id generation {} does not match slot generation {}",
+                    id.generation(),
+                    entry.generation
+                )));
+            }
+            if matches!(entry.state, SlotState::Occupied { .. }) {
+                return Err(SnapshotError::Malformed(format!(
+                    "duplicate event id {}",
+                    id.0
+                )));
+            }
+            entry.state = SlotState::Occupied { seq, payload };
+            q.live_len += 1;
+            q.heap.push(Reverse((time, class, seq, id)));
         }
         if !r.is_exhausted() {
             return Err(SnapshotError::Malformed(
                 "trailing bytes after event list".into(),
             ));
         }
-        q.next_id = next_id;
         q.next_seq = next_seq;
         Ok(q)
     }
@@ -299,6 +455,24 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    #[test]
+    fn slab_reuses_slots_with_fresh_generations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, 0, "a");
+        q.cancel(a);
+        // The freed slot is recycled LIFO; the new id shares the low
+        // 32 bits but differs in generation, so the old handle stays
+        // dead.
+        let b = q.schedule(2, 0, "b");
+        assert_eq!(a.slot(), b.slot());
+        assert_ne!(a, b);
+        assert_eq!(b.generation(), a.generation() + 1);
+        assert_eq!(q.cancel(a), None, "stale handle cannot cancel");
+        assert_eq!(q.cancel(b), Some("b"));
+        // Only one physical slot was ever allocated.
+        assert_eq!(q.slots.len(), 1);
+    }
+
     #[derive(Clone, Debug, PartialEq, Eq)]
     struct P(u64);
 
@@ -338,7 +512,8 @@ mod tests {
         assert!(restored.reschedule(c, 9, 2));
         assert!(q.reschedule(c, 9, 2));
         assert_eq!(drain_p(&mut restored), drain_p(&mut q));
-        // Id allocation continues where the original left off.
+        // Id allocation continues where the original left off: the
+        // snapshot carries the slab's generations and free-list order.
         assert_eq!(restored.schedule(0, 0, P(0)), q.schedule(0, 0, P(0)));
     }
 
@@ -351,10 +526,10 @@ mod tests {
                 q.cancel(id);
             }
         }
-        let full = q.snapshot();
-        // A queue that never had the cancelled events at all encodes a
-        // payload of the same size: tombstones cost nothing.
+        // Tombstoned heap entries are dropped: only live events carry
+        // payload bytes (the slab shape itself is a few words/slot).
         let live_events = q.len();
+        let full = q.snapshot();
         let restored: EventQueue<P> = EventQueue::restore(&full, ()).unwrap();
         assert_eq!(restored.len(), live_events);
         let again = restored.snapshot();
@@ -369,18 +544,43 @@ mod tests {
             q
         };
         let bytes = q.snapshot();
-        // Rewrite the container with next_id/next_seq zeroed: the live
-        // event's id/seq now exceed the counters.
+        // Rewrite the container with next_seq zeroed: the live event's
+        // seq now fails the seq < next_seq bound.
         let reader = SnapshotReader::parse(&bytes).unwrap();
         let payload = reader.section("events").unwrap();
         let mut forged = payload.to_vec();
-        forged[..16].fill(0);
+        forged[..8].fill(0);
         let mut w = SnapshotWriter::new();
         w.section("events", forged);
         match EventQueue::<P>::restore(&w.finish(), ()) {
             Err(SnapshotError::Malformed(_)) => {}
             Err(other) => panic!("expected Malformed, got {other}"),
             Ok(_) => panic!("forged counters restored"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_free_live_overlap() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, 0, P(1));
+        q.schedule(2, 0, P(2));
+        q.cancel(a);
+        let bytes = q.snapshot();
+        let reader = SnapshotReader::parse(&bytes).unwrap();
+        let payload = reader.section("events").unwrap();
+        // Layout: next_seq u64, slot_count u64, generations (2 × u32),
+        // free_len u64, free[0] u32, ... Patch free[0] from the freed
+        // slot 0 to the *live* slot 1.
+        let mut forged = payload.to_vec();
+        let free0_at = 8 + 8 + 2 * 4 + 8;
+        assert_eq!(&forged[free0_at..free0_at + 4], &0u32.to_le_bytes());
+        forged[free0_at..free0_at + 4].copy_from_slice(&1u32.to_le_bytes());
+        let mut w = SnapshotWriter::new();
+        w.section("events", forged);
+        match EventQueue::<P>::restore(&w.finish(), ()) {
+            Err(SnapshotError::Malformed(_)) => {}
+            Err(other) => panic!("expected Malformed, got {other}"),
+            Ok(_) => panic!("free/live overlap restored"),
         }
     }
 

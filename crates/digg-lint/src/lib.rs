@@ -20,6 +20,7 @@
 //! | `no-unordered-serialize` | serialized bytes independent of hash order |
 //! | `no-truncating-cast` | ids/counts never silently truncated |
 //! | `raw-thread-fanout` | all fan-out through `des_core::par` |
+//! | `no-unchecked-mmap` | `unsafe` confined to the one audited mmap module |
 //!
 //! Suppression is only possible inline:
 //!
@@ -50,6 +51,9 @@ pub struct Config {
     /// Modules allowed raw `std::thread` fan-out (the deterministic
     /// primitives themselves).
     pub fanout_allow: Vec<String>,
+    /// Modules allowed `unsafe` / `from_raw_parts` — exactly the one
+    /// audited mmap module; everything else is safe Rust by decree.
+    pub mmap_allow: Vec<String>,
 }
 
 impl Default for Config {
@@ -57,6 +61,7 @@ impl Default for Config {
         Config {
             wallclock_allow: vec!["crates/bench/src/timing.rs".to_string()],
             fanout_allow: vec!["crates/des-core/src/par.rs".to_string()],
+            mmap_allow: vec!["crates/social-graph/src/mmap.rs".to_string()],
         }
     }
 }
@@ -67,6 +72,7 @@ impl Config {
             kind: walk::classify(rel),
             wallclock_exempt: self.wallclock_allow.iter().any(|p| rel.ends_with(p)),
             fanout_exempt: self.fanout_allow.iter().any(|p| rel.ends_with(p)),
+            mmap_exempt: self.mmap_allow.iter().any(|p| rel.ends_with(p)),
         }
     }
 }
@@ -176,6 +182,16 @@ mod tests {
         assert!(fr.violations.is_empty());
         let fr = lint_source("crates/core/src/story_metrics.rs", src, &Config::default());
         assert_eq!(fr.violations.len(), 1);
+    }
+
+    #[test]
+    fn mmap_module_is_unsafe_exempt_by_default() {
+        let src = "pub fn f(p: *const u8) { let _ = unsafe { *p }; }";
+        let fr = lint_source("crates/social-graph/src/mmap.rs", src, &Config::default());
+        assert!(fr.violations.is_empty());
+        let fr = lint_source("crates/social-graph/src/graph.rs", src, &Config::default());
+        assert_eq!(fr.violations.len(), 1);
+        assert_eq!(fr.violations[0].rule, rules::NO_UNCHECKED_MMAP);
     }
 
     #[test]

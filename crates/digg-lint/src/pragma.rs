@@ -154,6 +154,7 @@ mod tests {
             kind: FileKind::Lib,
             wallclock_exempt: false,
             fanout_exempt: false,
+            mmap_exempt: false,
         };
         let (allows, mut bad) = parse(&map, &raw);
         let mut v = apply(&map, &raw, check(&map, scope, &raw), &allows);

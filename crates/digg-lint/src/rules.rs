@@ -15,6 +15,7 @@ pub const NO_LIB_UNWRAP: &str = "no-lib-unwrap";
 pub const NO_UNORDERED_SERIALIZE: &str = "no-unordered-serialize";
 pub const NO_TRUNCATING_CAST: &str = "no-truncating-cast";
 pub const RAW_THREAD_FANOUT: &str = "raw-thread-fanout";
+pub const NO_UNCHECKED_MMAP: &str = "no-unchecked-mmap";
 /// Meta-rule: an `allow` pragma that suppressed nothing. Errors, so
 /// the pragma ledger can only shrink — dead exemptions never linger.
 pub const UNUSED_ALLOW: &str = "unused-allow";
@@ -23,13 +24,14 @@ pub const UNUSED_ALLOW: &str = "unused-allow";
 pub const MALFORMED_PRAGMA: &str = "malformed-pragma";
 
 /// The suppressible rules, in reporting order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     NO_WALLCLOCK,
     NO_AMBIENT_RNG,
     NO_LIB_UNWRAP,
     NO_UNORDERED_SERIALIZE,
     NO_TRUNCATING_CAST,
     RAW_THREAD_FANOUT,
+    NO_UNCHECKED_MMAP,
 ];
 
 /// One-line description per rule (for `--explain` style output and
@@ -62,6 +64,11 @@ pub fn describe(rule: &str) -> &'static str {
             "raw std::thread spawn/scope outside des_core::par; fan-out must go through the \
              deterministic chunked primitives"
         }
+        NO_UNCHECKED_MMAP => {
+            "`unsafe` block/fn or from_raw_parts outside the single allowlisted mmap module \
+             (crates/social-graph/src/mmap.rs); all other code stays safe Rust and consumes \
+             mapped memory only through GraphMap's checked slice accessors"
+        }
         UNUSED_ALLOW => "digg-lint allow pragma that suppressed no violation",
         MALFORMED_PRAGMA => "unparseable digg-lint pragma (unknown rule id or missing reason)",
         _ => "unknown rule",
@@ -87,6 +94,9 @@ pub struct Scope {
     pub wallclock_exempt: bool,
     /// File is allowlisted for raw thread fan-out (`des_core::par`).
     pub fanout_exempt: bool,
+    /// File is the one allowlisted unsafe mmap module
+    /// (`social-graph::mmap`).
+    pub mmap_exempt: bool,
 }
 
 /// Run every rule over one lexed file. Returned violations are in
@@ -172,6 +182,13 @@ pub fn check(map: &SourceMap, scope: Scope, raw_lines: &[&str]) -> Vec<Violation
         {
             push(RAW_THREAD_FANOUT);
         }
+
+        // Applies everywhere, tests included: the soundness argument
+        // for the mapped-memory casts lives in one audited module, and
+        // a second `unsafe` anywhere would silently widen it.
+        if !scope.mmap_exempt && (has_token(code, "unsafe") || has_token(code, "from_raw_parts")) {
+            push(NO_UNCHECKED_MMAP);
+        }
     }
     out
 }
@@ -201,6 +218,7 @@ mod tests {
             kind: FileKind::Lib,
             wallclock_exempt: false,
             fanout_exempt: false,
+            mmap_exempt: false,
         }
     }
 
@@ -288,6 +306,25 @@ mod tests {
         let v = check_src(src, lib_scope());
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, NO_UNORDERED_SERIALIZE);
+    }
+
+    #[test]
+    fn unsafe_fires_everywhere_except_the_mmap_module() {
+        let src = "unsafe { std::slice::from_raw_parts(p, n) }";
+        let v = check_src(src, lib_scope());
+        // Both the `unsafe` token and the cast helper fire on the line.
+        assert!(v.iter().all(|v| v.rule == NO_UNCHECKED_MMAP));
+        assert!(!v.is_empty());
+        let exempt = Scope {
+            mmap_exempt: true,
+            ..lib_scope()
+        };
+        assert!(check_src(src, exempt).is_empty());
+        // Tests are NOT exempt: unsafe in a test is still unsafe.
+        let in_test = "#[cfg(test)]\nmod t {\n    fn g() { unsafe { f() } }\n}";
+        assert_eq!(check_src(in_test, lib_scope()).len(), 1);
+        // Comments and strings never match.
+        assert!(check_src("// unsafe from_raw_parts\n", lib_scope()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Fixture: unsafe code outside the allowlisted mmap module.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn alias(p: *const u32, n: usize) -> &'static [u32] {
+    std::slice::from_raw_parts(p, n)
+}

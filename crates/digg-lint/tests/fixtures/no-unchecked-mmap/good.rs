@@ -1,0 +1,12 @@
+//! Fixture: mapped memory consumed through checked safe accessors
+//! only; mentions of unsafe in comments or strings never fire.
+
+pub fn row(offsets: &[u64], targets: &[u32], i: usize) -> Option<&[u32]> {
+    let lo = usize::try_from(*offsets.get(i)?).ok()?;
+    let hi = usize::try_from(*offsets.get(i + 1)?).ok()?;
+    targets.get(lo..hi)
+}
+
+pub fn doc() -> &'static str {
+    "the single unsafe module is crates/social-graph/src/mmap.rs"
+}

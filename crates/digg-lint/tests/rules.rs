@@ -62,6 +62,11 @@ rule_fixture!(
     "raw-thread-fanout",
     "raw-thread-fanout"
 );
+rule_fixture!(
+    no_unchecked_mmap_fixture,
+    "no-unchecked-mmap",
+    "no-unchecked-mmap"
+);
 
 #[test]
 fn bad_fixtures_flag_every_expected_line() {
@@ -127,5 +132,13 @@ fn allowlisted_modules_are_exempt() {
 
     let fanout = "pub fn go() { std::thread::scope(|_s| {}); }\n";
     let report = lint_source("crates/des-core/src/par.rs", fanout, &Config::default());
+    assert!(report.violations.is_empty());
+
+    let mapped = "pub fn bytes(p: *const u8, n: usize) -> &'static [u8] {\n    unsafe { std::slice::from_raw_parts(p, n) }\n}\n";
+    let report = lint_source(
+        "crates/social-graph/src/mmap.rs",
+        mapped,
+        &Config::default(),
+    );
     assert!(report.violations.is_empty());
 }

@@ -76,6 +76,7 @@ impl StreamingPrediction {
     }
 
     /// The current verdict.
+    #[inline]
     pub fn verdict(&self) -> bool {
         self.verdict
     }
@@ -105,6 +106,7 @@ impl StreamingPrediction {
     /// # Panics
     ///
     /// Panics if `attr` is out of range for the initial vector.
+    #[inline]
     pub fn predict_update(&mut self, tree: &DecisionTree, attr: usize, value: f64) -> bool {
         self.values[attr] = value;
         let holds = self

@@ -1306,8 +1306,8 @@ mod tests {
         let mut sim = toy_sim(6);
         sim.run(800);
         for s in sim.stories() {
-            assert!(s.votes.windows(2).all(|w| w[0].at <= w[1].at));
-            assert_eq!(s.votes[0].user, s.submitter);
+            assert!(s.votes.ats().windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(s.votes.get(0).user, s.submitter);
         }
     }
 
@@ -1363,8 +1363,8 @@ mod tests {
         assert!(sim.metrics().promotions > 0, "nothing promoted");
         assert_eq!(queue_boundary_violations(&sim), 0);
         for s in sim.stories() {
-            assert!(s.votes.windows(2).all(|w| w[0].at <= w[1].at));
-            assert_eq!(s.votes[0].user, s.submitter);
+            assert!(s.votes.ats().windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(s.votes.get(0).user, s.submitter);
             let mut users: Vec<UserId> = s.votes.iter().map(|v| v.user).collect();
             users.sort_unstable();
             let before = users.len();

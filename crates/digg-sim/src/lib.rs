@@ -81,5 +81,5 @@ pub mod time;
 pub use config::SimConfig;
 pub use engine::{Kernel, Sim};
 pub use population::Population;
-pub use story::{Story, StoryId, Vote, VoteChannel};
+pub use story::{Story, StoryId, Vote, VoteChannel, VoteLog};
 pub use time::Minute;

@@ -166,15 +166,18 @@ impl DiversityPromoter {
             };
             return self.fold_new_votes(&mut fresh, story, graph);
         };
-        while *applied < story.votes.len() {
+        // Column scan: the fold touches only voter ids, so walk the
+        // dense user column instead of materialising rows.
+        let users = story.votes.users();
+        while *applied < users.len() {
             let k = *applied;
-            let v = &story.votes[k];
+            let voter = users[k];
             // `voted_before` is position-aware, so catching up on a
             // story that grew by several votes still classifies vote
             // k against exactly the k-prefix.
             let in_network = k > 0
                 && graph
-                    .friends(v.user)
+                    .friends(voter)
                     .iter()
                     .any(|&f| story.voted_before(f, k));
             *weighted += if in_network {
@@ -306,7 +309,7 @@ mod tests {
                     sum += 1.0;
                     continue;
                 }
-                let prior: Vec<_> = story.votes[..k].iter().map(|p| p.user).collect();
+                let prior: Vec<_> = story.votes.users()[..k].to_vec();
                 sum += if graph.is_fan_of_any(v.user, &prior) {
                     d.in_network_weight
                 } else {

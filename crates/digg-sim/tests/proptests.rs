@@ -62,7 +62,7 @@ proptest! {
             // Votes unique per user, chronological, submitter first.
             let mut users: Vec<_> = s.votes.iter().map(|v| v.user).collect();
             prop_assert_eq!(users[0], s.submitter);
-            prop_assert!(s.votes.windows(2).all(|w| w[0].at <= w[1].at));
+            prop_assert!(s.votes.ats().windows(2).all(|w| w[0] <= w[1]));
             users.sort_unstable();
             let n = users.len();
             users.dedup();

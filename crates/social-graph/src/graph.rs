@@ -1,6 +1,9 @@
 //! The immutable directed social graph.
 
+use crate::bitset::FanBitset;
 use crate::id::UserId;
+use crate::membership;
+use crate::view::FanView;
 use serde::{Deserialize, Serialize};
 
 /// An immutable directed graph over users `0..user_count`, stored in
@@ -140,68 +143,35 @@ impl SocialGraph {
     /// membership test: a vote is "in-network" iff the voter is a fan
     /// of any prior voter.
     ///
-    /// Iterates the cheaper side: `O(|candidates| log d)` binary
-    /// searches for small candidate sets; when `candidates` happens to
-    /// be sorted (verifying that costs one `O(|candidates|)` scan,
-    /// cheaper than the searches it replaces), either a sorted
-    /// two-pointer intersection over `friends(a)` in
-    /// `O(d + |candidates|)` when candidates outnumber friends, or —
-    /// when the friend list dwarfs the candidate set — a galloping
+    /// Dispatches over the [`membership`](crate::membership) kernel's
+    /// scalar strategies, iterating the cheaper side:
+    /// `O(|candidates| log d)` binary searches for small candidate
+    /// sets; when `candidates` happens to be sorted (verifying that
+    /// costs one `O(|candidates|)` scan, cheaper than the searches it
+    /// replaces), either a sorted two-pointer intersection over
+    /// `friends(a)` in `O(d + |candidates|)` when candidates outnumber
+    /// friends, or — when the friend list dwarfs the candidate set by
+    /// the measured [`membership::GALLOP_RATIO`] — a galloping
     /// (exponential-search) merge that advances through `friends(a)`
     /// in `O(|candidates| log(d / |candidates|))` without restarting
     /// each search from the row head.
     pub fn is_fan_of_any(&self, a: UserId, candidates: &[UserId]) -> bool {
-        /// The friend row must outnumber sorted candidates by this
-        /// factor before galloping beats restarted binary searches.
-        const GALLOP_RATIO: usize = 8;
-        let friends = self.friends(a);
-        let sorted = candidates.len() > 1 && candidates.windows(2).all(|w| w[0] <= w[1]);
-        if sorted && candidates.len() > friends.len() {
-            let (mut i, mut j) = (0, 0);
-            while i < friends.len() && j < candidates.len() {
-                match friends[i].cmp(&candidates[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => return true,
-                }
-            }
-            false
-        } else if sorted && friends.len() >= GALLOP_RATIO * candidates.len() {
-            // Galloping merge: both sides ascend, so each candidate's
-            // search can start where the previous one stopped. Steps
-            // double until the row overshoots the candidate, then a
-            // binary search settles the bracket.
-            let mut lo = 0usize;
-            for &c in candidates {
-                let mut step = 1usize;
-                let mut hi = lo;
-                while hi < friends.len() && friends[hi] < c {
-                    lo = hi + 1;
-                    hi = hi.saturating_add(step).min(friends.len());
-                    step <<= 1;
-                }
-                // Everything below `lo` is < c, and `hi` (when in
-                // range) satisfies friends[hi] >= c: c can only live
-                // in friends[lo..=hi].
-                let end = if hi < friends.len() {
-                    hi + 1
-                } else {
-                    friends.len()
-                };
-                match friends[lo..end].binary_search(&c) {
-                    Ok(_) => return true,
-                    Err(off) => lo += off,
-                }
-                if lo >= friends.len() {
-                    return false;
-                }
-            }
-            false
-        } else {
-            candidates
-                .iter()
-                .any(|&c| friends.binary_search(&c).is_ok())
-        }
+        membership::is_fan_of_any(self.friends(a), candidates)
+    }
+
+    /// [`SocialGraph::is_fan_of_any`] with a caller-provided
+    /// [`FanBitset`] scratch, unlocking the kernel's bitset strategy
+    /// for large *unsorted* candidate sets (the one regime the scalar
+    /// merges cannot accelerate). Same boolean for every input; see
+    /// [`membership::is_fan_of_any_with`] for the measured density
+    /// heuristic.
+    pub fn is_fan_of_any_with(
+        &self,
+        a: UserId,
+        candidates: &[UserId],
+        scratch: &mut FanBitset,
+    ) -> bool {
+        membership::is_fan_of_any_with(self.friends(a), candidates, scratch)
     }
 
     /// Iterate all watch edges `(fan, watched)` in ascending order.
@@ -274,6 +244,28 @@ impl SocialGraph {
             filter_view(&self.friend_offsets, &self.friend_targets);
         let (fan_offsets, fan_targets) = filter_view(&self.fan_offsets, &self.fan_targets);
         SocialGraph::from_csr(friend_offsets, friend_targets, fan_offsets, fan_targets)
+    }
+}
+
+impl FanView for SocialGraph {
+    #[inline]
+    fn user_count(&self) -> usize {
+        SocialGraph::user_count(self)
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        SocialGraph::edge_count(self)
+    }
+
+    #[inline]
+    fn friends(&self, a: UserId) -> &[UserId] {
+        SocialGraph::friends(self, a)
+    }
+
+    #[inline]
+    fn fans(&self, b: UserId) -> &[UserId] {
+        SocialGraph::fans(self, b)
     }
 }
 

@@ -10,6 +10,10 @@ use std::fmt;
 /// and even aggressive synthetic populations stay far below 4 billion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
+// repr(transparent) makes a `[u32]` and a `[UserId]` layout-identical,
+// which is what lets the mmap-backed `GraphMap` serve its on-disk u32
+// target arrays as typed id slices without copying.
+#[repr(transparent)]
 pub struct UserId(pub u32);
 
 impl UserId {

@@ -6,11 +6,18 @@
 //! artifacts ship. File access goes through [`load_edge_list`] /
 //! [`save_edge_list`], which return a typed [`IoError`] — a missing
 //! or malformed file is a value, never a panic.
+//!
+//! The *binary* graph serialization — the versioned, checksummed,
+//! mmap-served CSR snapshot — lives in [`crate::mmap`]; its entry
+//! points are re-exported here so all graph persistence is reachable
+//! from one module.
 
 use crate::builder::GraphBuilder;
 use crate::graph::SocialGraph;
 use crate::id::UserId;
 use std::path::Path;
+
+pub use crate::mmap::{write_graph_map, GraphMap, GraphMapError};
 
 /// Errors from parsing an edge list.
 #[derive(Debug, Clone, PartialEq, Eq)]

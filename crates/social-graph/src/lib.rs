@@ -27,10 +27,22 @@
 //!   the `par_build` module and DESIGN.md §11).
 //! * [`visit`] — [`VisitBuffer`], an epoch-stamped user-set scratch
 //!   with O(1) clear for per-story sweeps.
+//! * [`bitset`] — [`FanBitset`], the word-packed dense counterpart of
+//!   `VisitBuffer` (1 bit/user instead of 32, `count_ones` popcount),
+//!   keeping sweep scratch cache-resident at millions of users.
+//! * [`membership`] — the fan-membership kernel: binary-probe,
+//!   two-pointer, galloping and bitset strategies over sorted CSR rows
+//!   with measured crossover constants (DESIGN.md §16).
 //! * [`probe`] — [`FanProbe`], the incremental fan-membership view
 //!   over CSR rows that the per-vote analytics state machine in
 //!   `digg-core` streams through (O(1) membership, O(fan-degree)
 //!   absorb per vote).
+//! * [`view`] — [`FanView`], the read-only adjacency trait that lets
+//!   the sweep engines run unchanged over in-memory or mmap-backed
+//!   graphs.
+//! * [`mmap`] — [`GraphMap`], the versioned, checksummed, 64-byte-
+//!   aligned on-disk CSR snapshot mapped read-only into memory (O(1)
+//!   load, out-of-core sweeps; the crate's single `unsafe` module).
 //! * [`traversal`] — BFS, reachability, weakly connected components.
 //! * [`metrics`] — degree sequences, reciprocity, density, clustering.
 //! * [`temporal`] — dated fan links and as-of-date snapshot
@@ -43,24 +55,35 @@
 //!   edge observation (scrape-fidelity ablations).
 //! * [`io`] — edge-list serialization.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one memory-mapping module ([`mmap`])
+// carries a scoped `#[allow(unsafe_code)]`, and digg-lint's
+// no-unchecked-mmap rule enforces that no other module in the
+// workspace does.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod builder;
 pub mod generators;
 pub mod graph;
 pub mod id;
 pub mod io;
+pub mod membership;
 pub mod metrics;
+pub mod mmap;
 pub(crate) mod par_build;
 pub mod probe;
 pub mod sampling;
 pub mod temporal;
 pub mod traversal;
+pub mod view;
 pub mod visit;
 
+pub use bitset::FanBitset;
 pub use builder::{CsrCapacityError, GraphBuilder};
 pub use graph::SocialGraph;
 pub use id::UserId;
+pub use mmap::{GraphMap, GraphMapError};
 pub use probe::FanProbe;
+pub use view::FanView;
 pub use visit::VisitBuffer;

@@ -4,7 +4,7 @@
 //! per vote — *is this voter inside the fan-union of everyone who
 //! voted before?* — and then folds the new voter's own fans into that
 //! union. [`FanProbe`] packages exactly that state: an epoch-stamped
-//! bitset ([`VisitBuffer`]) of reached users plus an absorb operation
+//! bitset ([`FanBitset`]) of reached users plus an absorb operation
 //! that streams one contiguous CSR fan row at a time, so a membership
 //! test is O(1) and absorbing a vote is O(fan-degree of the voter).
 //!
@@ -13,13 +13,19 @@
 //! membership family lives in [`SocialGraph::is_fan_of_any`], which
 //! answers the same question statelessly from a candidate list.
 
-use crate::graph::SocialGraph;
+use crate::bitset::FanBitset;
 use crate::id::UserId;
-use crate::visit::VisitBuffer;
+use crate::view::FanView;
 
 /// Reusable incremental membership state: the union of the fans of a
 /// growing set of "absorbed" users (for story analytics: the voters so
 /// far), with O(1) queries and O(1) reset.
+///
+/// Backed by a [`FanBitset`] — one bit per user — so the whole
+/// reached-set stays cache-resident even at millions of users, which
+/// is where the per-vote hot path spends its time. Generic over
+/// [`FanView`], so the same probe serves the in-memory graph and the
+/// mmap-backed [`GraphMap`](crate::GraphMap).
 ///
 /// # Examples
 ///
@@ -40,19 +46,19 @@ use crate::visit::VisitBuffer;
 /// ```
 #[derive(Debug, Clone)]
 pub struct FanProbe {
-    reached: VisitBuffer,
+    reached: FanBitset,
 }
 
 impl FanProbe {
     /// A probe sized for `graph`'s user count.
-    pub fn new(graph: &SocialGraph) -> FanProbe {
+    pub fn new<G: FanView>(graph: &G) -> FanProbe {
         FanProbe::for_users(graph.user_count())
     }
 
     /// A probe covering users `0..n`.
     pub fn for_users(n: usize) -> FanProbe {
         FanProbe {
-            reached: VisitBuffer::new(n),
+            reached: FanBitset::new(n),
         }
     }
 
@@ -92,7 +98,12 @@ impl FanProbe {
     /// Panics if `v` is out of range for `graph` (ids come from the
     /// graph) or if a fan id exceeds the probe's capacity.
     #[inline]
-    pub fn absorb_fans(&mut self, graph: &SocialGraph, v: UserId, mut on_new: impl FnMut(UserId)) {
+    pub fn absorb_fans<G: FanView>(
+        &mut self,
+        graph: &G,
+        v: UserId,
+        mut on_new: impl FnMut(UserId),
+    ) {
         for &f in graph.fans(v) {
             if self.reached.insert(f) {
                 on_new(f);
@@ -113,14 +124,14 @@ impl FanProbe {
         self.reached.insert(u)
     }
 
-    /// The reached users in ascending [`UserId`] order. O(capacity);
-    /// see [`VisitBuffer::members`].
+    /// The reached users in ascending [`UserId`] order. O(capacity / 64)
+    /// word scans; see [`FanBitset::members`].
     pub fn members(&self) -> impl Iterator<Item = UserId> + '_ {
         self.reached.members()
     }
 
     /// Reset to the empty state in O(1) (amortised — see
-    /// [`VisitBuffer::clear`]).
+    /// [`FanBitset::clear`]).
     pub fn clear(&mut self) {
         self.reached.clear();
     }
@@ -130,6 +141,7 @@ impl FanProbe {
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+    use crate::graph::SocialGraph;
 
     /// Fans: 0 <- {1, 2, 3}; 4 <- {2, 5}.
     fn graph() -> SocialGraph {
