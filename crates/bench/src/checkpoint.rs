@@ -186,7 +186,7 @@ pub fn run_checkpoint_sweep(seed: u64) -> (Vec<Artifact>, usize) {
     let clean = rows(&clean_outcomes);
 
     let kill_plan = SweepKillPlan::kill_all(seed, 2);
-    let kills = kill_plan.kills(cells);
+    let kills = kill_plan.chaos(cells);
     let kills_injected = if subprocess {
         kills.iter().flatten().count()
     } else {
@@ -194,7 +194,7 @@ pub fn run_checkpoint_sweep(seed: u64) -> (Vec<Artifact>, usize) {
     };
     let (recovered_identical, killed_ms) = if subprocess {
         let killed_cfg = SupervisorConfig {
-            kill_after_checkpoints: kills,
+            chaos: kills,
             ..clean_cfg.clone()
         };
         let (killed_outcomes, killed_ms) = time_ms(|| sweep_or_panic(&specs, &seeds, &killed_cfg));

@@ -47,6 +47,7 @@
 
 pub mod ablations;
 pub mod baseline;
+pub mod chaos;
 pub mod checkpoint;
 pub mod degradation;
 pub mod incr;

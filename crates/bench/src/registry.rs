@@ -399,6 +399,13 @@ pub static REGISTRY: &[ExperimentSpec] = &[
             run: crate::degradation::run_degradation_sweep,
         },
     },
+    ExperimentSpec {
+        name: "chaos_sweep",
+        about: "full chaos-matrix drill: stalls, corrupt frames, torn checkpoints — recovered rows byte-identical, lenient degradation",
+        runner: Runner::Standalone {
+            run: crate::chaos::run_chaos_sweep,
+        },
+    },
 ];
 
 /// Look up an experiment by name.

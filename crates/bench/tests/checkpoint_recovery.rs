@@ -1,16 +1,20 @@
 //! End-to-end recovery drill against the real `sweep_worker` binary:
 //! the supervisor shards a grid across subprocesses, a deterministic
-//! kill plan makes every worker die right after one of its
+//! chaos plan makes workers die, stall, emit garbage, or tear their
 //! checkpoints, and the recovered sweep must serialize byte-identical
 //! to an uninterrupted one. This is the tentpole property of the
-//! checkpoint/replay stack (DESIGN.md §15) exercised across a true
-//! process boundary — JSON frames, respawns, snapshot files and all.
+//! checkpoint/replay stack (DESIGN.md §15, hardened §17) exercised
+//! across a true process boundary — JSON frames, heartbeats,
+//! watchdog SIGKILLs, respawns, generation files and all.
 
-use digg_data::SweepKillPlan;
+use digg_data::{ChaosPlan, SweepKillPlan};
 use digg_sim::population::PopulationConfig;
-use digg_sim::supervisor::{run_sweep_supervised, SupervisorConfig};
+use digg_sim::supervisor::{
+    run_sweep_supervised, run_sweep_supervised_lenient, ChaosFault, FailureKind, SupervisorConfig,
+};
 use digg_sim::sweep::{run_scenario, ScenarioSpec};
 use digg_sim::{Kernel, SimConfig};
+use std::time::Duration;
 
 fn worker_cmd() -> Vec<String> {
     vec![env!("CARGO_BIN_EXE_sweep_worker").to_string()]
@@ -74,11 +78,11 @@ fn killed_workers_recover_to_byte_identical_rows() {
 
     // Every cell's worker dies after its first or second checkpoint.
     let plan = SweepKillPlan::kill_all(7, 2);
-    let kills = plan.kills(cells);
+    let kills = plan.chaos(cells);
     assert_eq!(kills.iter().flatten().count(), cells, "kill_all must kill");
     let killed_dir = temp_dir("killed");
     let killed_cfg = SupervisorConfig {
-        kill_after_checkpoints: kills,
+        chaos: kills,
         ..SupervisorConfig::subprocess(worker_cmd(), 2, 150, killed_dir.clone())
     };
     let recovered = run_sweep_supervised(&specs, &seeds, &killed_cfg).unwrap();
@@ -116,10 +120,113 @@ fn respawn_budget_exhaustion_is_a_typed_error() {
     let dir = temp_dir("exhaust");
     let mut cfg = SupervisorConfig::subprocess(worker_cmd(), 1, 150, dir.clone());
     cfg.max_respawns = 0;
-    cfg.kill_after_checkpoints = vec![Some(1)];
+    cfg.chaos = vec![Some(ChaosFault::Kill {
+        after_checkpoints: 1,
+    })];
     match run_sweep_supervised(&specs[..1], &[31], &cfg) {
         Err(digg_sim::supervisor::SweepError::WorkerExhausted { cell: 0, .. }) => {}
         other => panic!("expected WorkerExhausted, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_chaos_matrix_recovers_to_byte_identical_rows() {
+    // Six cells, one fault class each (round-robin): kill, stall,
+    // dawdle, corrupt frame, torn checkpoint, bit-flipped checkpoint.
+    // The watchdog must SIGKILL the stalled and dawdling workers, the
+    // generation ladder must absorb the damaged checkpoints, and the
+    // recovered rows must still be byte-identical to a clean sweep.
+    let specs = small_specs();
+    let seeds = [41u64, 42, 43];
+    let cells = specs.len() * seeds.len();
+
+    let clean_dir = temp_dir("chaos-clean");
+    let clean_cfg = SupervisorConfig::subprocess(worker_cmd(), 2, 150, clean_dir.clone());
+    let clean = run_sweep_supervised(&specs, &seeds, &clean_cfg).unwrap();
+
+    let chaos_dir = temp_dir("chaos-matrix");
+    let mut chaos_cfg = SupervisorConfig::subprocess(worker_cmd(), 2, 150, chaos_dir.clone());
+    chaos_cfg.chaos = ChaosPlan::fault_all(7, 2).matrix(cells);
+    // Tight deadlines keep the stall and dawdle cells from dominating
+    // the suite; toy cells finish well inside the 5 s deadline.
+    chaos_cfg.watchdog.heartbeat_timeout = Duration::from_millis(500);
+    chaos_cfg.watchdog.cell_deadline = Some(Duration::from_secs(5));
+    let (results, report) = run_sweep_supervised_lenient(&specs, &seeds, &chaos_cfg).unwrap();
+
+    assert_eq!(report.failed, vec![], "every faulted cell must recover");
+    assert_eq!(report.completed, cells);
+    let recovered: Vec<_> = results
+        .iter()
+        .map(|r| r.run().expect("completed cell").clone())
+        .collect();
+    let clean_rows: Vec<_> = clean.iter().map(|o| o.run().unwrap().clone()).collect();
+    assert_eq!(
+        serde_json::to_string(&recovered).unwrap(),
+        serde_json::to_string(&clean_rows).unwrap(),
+        "chaos-recovered rows are not byte-identical to the clean sweep"
+    );
+    // Every fault class left its signature in the observed counters.
+    assert!(report.observed.hung >= 1, "stall: {:?}", report.observed);
+    assert!(
+        report.observed.deadline_exceeded >= 1,
+        "dawdle: {:?}",
+        report.observed
+    );
+    assert!(
+        report.observed.corrupt_frame >= 1,
+        "corrupt frame: {:?}",
+        report.observed
+    );
+    assert!(report.observed.crashed >= 1, "kill: {:?}", report.observed);
+    assert!(
+        report.observed.corrupt_checkpoint >= 2,
+        "torn + bit-flip fallbacks: {:?}",
+        report.observed
+    );
+    assert!(report.respawns >= 6, "all six faults force a respawn");
+    // Generation files were consumed and removed on the way out.
+    for dir in [clean_dir, chaos_dir] {
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .map(|rd| rd.filter_map(|e| e.ok()).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "leftover checkpoints: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn lenient_sweep_degrades_one_cell_without_losing_survivors() {
+    // Zero respawn budget + one killed cell: the batch must come back
+    // with exactly that cell degraded and every survivor byte-equal
+    // to its single-process run.
+    let specs = small_specs();
+    let seeds = [51u64, 52];
+    let cells = specs.len() * seeds.len();
+    let dir = temp_dir("lenient");
+    let mut cfg = SupervisorConfig::subprocess(worker_cmd(), 2, 150, dir.clone());
+    cfg.max_respawns = 0;
+    cfg.chaos = vec![None; cells];
+    cfg.chaos[1] = Some(ChaosFault::Kill {
+        after_checkpoints: 1,
+    });
+    let (results, report) = run_sweep_supervised_lenient(&specs, &seeds, &cfg).unwrap();
+    assert_eq!(results.len(), cells);
+    assert_eq!(report.completed, cells - 1);
+    assert_eq!(report.failed.len(), 1);
+    let failure = &report.failed[0];
+    assert_eq!(failure.cell, 1);
+    assert_eq!(failure.kind, FailureKind::Crashed);
+    assert_eq!(failure.respawns, 0);
+    assert_eq!(results[1].failure(), Some(failure));
+    let mut k = 0;
+    for spec in &specs {
+        for &s in &seeds {
+            if k != 1 {
+                assert_eq!(results[k].run(), Some(&run_scenario(spec, s)));
+            }
+            k += 1;
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -29,6 +29,7 @@
 
 use crate::model::{DiggDataset, StoryRecord};
 use des_core::StreamRng;
+use digg_sim::supervisor::{ChaosFault, CorruptFrameKind};
 use rand::Rng;
 use social_graph::GraphBuilder;
 
@@ -39,6 +40,7 @@ const FAN_STREAM: u64 = 0x0046_4155_4c54_5f4e; // "FAULT_N"
 const DUP_STREAM: u64 = 0x0046_4155_4c54_5f44; // "FAULT_D"
 const ORDER_STREAM: u64 = 0x0046_4155_4c54_5f4f; // "FAULT_O"
 const KILL_STREAM: u64 = 0x0046_4155_4c54_5f4b; // "FAULT_K"
+const CHAOS_STREAM: u64 = 0x0046_4155_4c54_5f43; // "FAULT_C"
 
 /// Bounded deterministic retry policy for transient fetch failures.
 ///
@@ -369,6 +371,131 @@ impl SweepKillPlan {
             })
             .collect()
     }
+
+    /// The same schedule as [`SweepKillPlan::kills`] expressed as
+    /// [`ChaosFault::Kill`] entries, ready for
+    /// `SupervisorConfig::chaos`.
+    pub fn chaos(&self, cells: usize) -> Vec<Option<ChaosFault>> {
+        self.kills(cells)
+            .into_iter()
+            .map(|k| k.map(|after_checkpoints| ChaosFault::Kill { after_checkpoints }))
+            .collect()
+    }
+}
+
+/// Fault classes a [`ChaosPlan`] can draw, in the fixed order the
+/// round-robin matrix walks.
+const CHAOS_CLASSES: u64 = 6;
+
+/// Deterministic chaos schedule for the supervised sweep — the
+/// generalization of [`SweepKillPlan`] from "workers die" to the full
+/// fault matrix the hardened supervisor recovers from: kills, silent
+/// stalls, heartbeat-only dawdles, corrupt response frames, and torn
+/// or bit-flipped checkpoint writes (`digg_sim::supervisor`'s
+/// [`ChaosFault`]).
+///
+/// Each grid cell draws from its own [`StreamRng`] stream keyed by
+/// `(plan seed, CHAOS_STREAM, cell index)` — whether it gets a fault,
+/// which class, and the class's parameters are a pure function of the
+/// plan and the cell index, invariant to sharding, worker count, and
+/// timing. The `chaos_sweep` bench proves recovery by comparing a
+/// full-matrix run's rows byte-for-byte against an unfaulted sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed of the per-cell chaos streams.
+    pub seed: u64,
+    /// Probability a given cell gets any fault at all.
+    pub fault_prob: f64,
+    /// Upper bound (inclusive) on the checkpoint index a checkpoint-
+    /// anchored fault lands on; drawn uniformly from
+    /// `1..=max_checkpoint`.
+    pub max_checkpoint: u32,
+}
+
+impl Default for ChaosPlan {
+    /// No faults — the supervisor runs every cell uninterrupted.
+    fn default() -> ChaosPlan {
+        ChaosPlan {
+            seed: 0,
+            fault_prob: 0.0,
+            max_checkpoint: 3,
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// A plan that faults every cell, class drawn uniformly.
+    pub fn fault_all(seed: u64, max_checkpoint: u32) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            fault_prob: 1.0,
+            max_checkpoint: max_checkpoint.max(1),
+        }
+    }
+
+    /// Draw one fault from an already-positioned cell stream.
+    fn draw(&self, rng: &mut StreamRng, class: u64) -> ChaosFault {
+        let at = rng.random_range(1..=self.max_checkpoint.max(1));
+        match class {
+            0 => ChaosFault::Kill {
+                after_checkpoints: at,
+            },
+            1 => ChaosFault::Stall {
+                after_checkpoints: at,
+            },
+            2 => ChaosFault::Dawdle {
+                after_checkpoints: at,
+            },
+            3 => {
+                let kind = match rng.random_range(0..3u32) {
+                    0 => CorruptFrameKind::Garbage,
+                    1 => CorruptFrameKind::Oversized,
+                    _ => CorruptFrameKind::Truncated,
+                };
+                ChaosFault::CorruptFrame { kind }
+            }
+            4 => ChaosFault::TornCheckpoint { at_checkpoint: at },
+            _ => ChaosFault::BitFlipCheckpoint {
+                at_checkpoint: at,
+                bit: rng.random::<u64>(),
+            },
+        }
+    }
+
+    /// The per-cell fault schedule for a `cells`-cell grid in
+    /// row-major grid order, class drawn uniformly per faulted cell.
+    /// Feed this straight into `SupervisorConfig::chaos`.
+    pub fn faults(&self, cells: usize) -> Vec<Option<ChaosFault>> {
+        (0..cells)
+            .map(|cell| {
+                let mut rng = StreamRng::keyed(self.seed, &[CHAOS_STREAM, cell as u64]);
+                if rng.random::<f64>() < self.fault_prob {
+                    let class = rng.random_range(0..CHAOS_CLASSES);
+                    Some(self.draw(&mut rng, class))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The full-matrix drill: every cell faulted, classes assigned
+    /// round-robin (`cell % 6`) so a grid of at least six cells is
+    /// guaranteed to fire **every** fault class at least once, with
+    /// parameters still drawn from the cell's own stream. This is the
+    /// schedule the `chaos_sweep` CI smoke runs.
+    pub fn matrix(&self, cells: usize) -> Vec<Option<ChaosFault>> {
+        (0..cells)
+            .map(|cell| {
+                let mut rng = StreamRng::keyed(self.seed, &[CHAOS_STREAM, cell as u64]);
+                // Burn the fire draw so matrix and faults() share
+                // stream positions for the parameter draws.
+                let _ = rng.random::<f64>();
+                let class = cell as u64 % CHAOS_CLASSES;
+                Some(self.draw(&mut rng, class))
+            })
+            .collect()
+    }
 }
 
 /// Exact ledger of what a [`FaultPlan::apply`] run injected. Because
@@ -609,6 +736,64 @@ mod tests {
             .kills(8)
             .iter()
             .all(|k| k.is_some()));
+        // The chaos bridge is the same schedule, Kill-wrapped.
+        let bridged = plan.chaos(12);
+        for (k, c) in a.iter().zip(&bridged) {
+            match (k, c) {
+                (None, None) => {}
+                (Some(k), Some(ChaosFault::Kill { after_checkpoints })) => {
+                    assert_eq!(k, after_checkpoints)
+                }
+                other => panic!("kills/chaos disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_cell_local_and_class_complete() {
+        let plan = ChaosPlan {
+            seed: 43,
+            fault_prob: 0.5,
+            max_checkpoint: 4,
+        };
+        let a = plan.faults(12);
+        assert_eq!(a, plan.faults(12), "same plan, same schedule");
+        // Cell-local: a cell's fault doesn't depend on grid size.
+        assert_eq!(&a[..6], &plan.faults(6)[..]);
+        assert!(a.iter().any(|f| f.is_some()), "0.5 over 12 cells must fire");
+        assert!(a.iter().any(|f| f.is_none()));
+        assert!(ChaosPlan::default().faults(8).iter().all(|f| f.is_none()));
+        // Checkpoint anchors respect the bound.
+        for f in ChaosPlan::fault_all(9, 4).faults(32).iter().flatten() {
+            match f {
+                ChaosFault::Kill { after_checkpoints }
+                | ChaosFault::Stall { after_checkpoints }
+                | ChaosFault::Dawdle { after_checkpoints } => {
+                    assert!((1..=4).contains(after_checkpoints))
+                }
+                ChaosFault::TornCheckpoint { at_checkpoint }
+                | ChaosFault::BitFlipCheckpoint { at_checkpoint, .. } => {
+                    assert!((1..=4).contains(at_checkpoint))
+                }
+                ChaosFault::CorruptFrame { .. } => {}
+            }
+        }
+        // The full matrix faults every cell and covers every class in
+        // any six consecutive cells.
+        let m = ChaosPlan::fault_all(9, 3).matrix(6);
+        assert!(m.iter().all(|f| f.is_some()));
+        let classes: Vec<u32> = m
+            .iter()
+            .map(|f| match f.unwrap() {
+                ChaosFault::Kill { .. } => 0,
+                ChaosFault::Stall { .. } => 1,
+                ChaosFault::Dawdle { .. } => 2,
+                ChaosFault::CorruptFrame { .. } => 3,
+                ChaosFault::TornCheckpoint { .. } => 4,
+                ChaosFault::BitFlipCheckpoint { .. } => 5,
+            })
+            .collect();
+        assert_eq!(classes, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

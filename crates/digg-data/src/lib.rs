@@ -51,7 +51,7 @@ pub mod scrape;
 pub mod synth;
 pub mod validate;
 
-pub use faults::{FaultLog, FaultPlan, RetryPolicy, SweepKillPlan};
+pub use faults::{ChaosPlan, FaultLog, FaultPlan, RetryPolicy, SweepKillPlan};
 pub use ingest::{DegradationReport, IngestMode, QuarantinedRecord};
 pub use model::{DiggDataset, SampleSource, StoryRecord};
 pub use synth::{synthesize, SynthConfig, Synthesis};

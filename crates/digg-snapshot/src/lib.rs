@@ -395,18 +395,45 @@ impl<'a> SnapshotReader<'a> {
     }
 }
 
-/// Write `data` to `path` atomically: write a sibling `*.tmp` file,
-/// then rename over the target. A crash mid-write (or a concurrent
+/// Write `data` to `path` atomically **and durably**: write a sibling
+/// `*.tmp` file, fsync it, then rename over the target and best-effort
+/// fsync the parent directory. A crash mid-write (or a concurrent
 /// reader — a supervisor recovering a worker while its checkpoint is
 /// mid-flush) never sees a truncated file; the rename either fully
-/// lands or doesn't.
+/// lands or doesn't, and the fsync-before-rename guarantees the bytes
+/// behind a landed rename are on stable storage — a power cut cannot
+/// leave a fully-renamed but half-persisted ("torn") checkpoint where
+/// a recovering supervisor will look for one.
+///
+/// On any error path the `*.tmp` sibling is removed, so failed writes
+/// leave no residue for directory scans (generation discovery, test
+/// leftovers asserts) to trip over.
 pub fn write_atomic(path: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
     let file_name = path
         .file_name()
         .ok_or_else(|| std::io::Error::other(format!("no file name in {}", path.display())))?;
     let tmp = path.with_file_name(format!("{}.tmp", file_name.to_string_lossy()));
-    std::fs::File::create(&tmp).and_then(|mut f| f.write_all(data))?;
-    std::fs::rename(&tmp, path)
+    let write = std::fs::File::create(&tmp).and_then(|mut f| {
+        f.write_all(data)?;
+        // Durability boundary: the rename below must never publish a
+        // name whose bytes are still in flight.
+        f.sync_all()
+    });
+    let renamed = write.and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = renamed {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Best-effort: persist the directory entry too. Some filesystems
+    // order the rename behind the data sync anyway; failure here is
+    // not a correctness problem for readers, only a smaller durability
+    // window, so it is deliberately not surfaced.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Persist a snapshot container atomically.
@@ -520,6 +547,33 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn write_atomic_error_path_leaves_no_tmp_residue() {
+        let dir = std::env::temp_dir().join(format!("digg-snapshot-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A directory at the target path makes the rename fail after
+        // the tmp file has been written and fsynced — the latest
+        // possible failure point.
+        let target = dir.join("blocked.snap");
+        std::fs::create_dir_all(&target).unwrap();
+        let err = write_atomic(&target, b"payload").unwrap_err();
+        assert!(
+            err.kind() != std::io::ErrorKind::NotFound,
+            "wrong failure: {err}"
+        );
+        assert!(
+            !dir.join("blocked.snap.tmp").exists(),
+            "failed write left a .tmp file behind"
+        );
+        // Only the blocking directory itself remains.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["blocked.snap".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
