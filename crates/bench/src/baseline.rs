@@ -177,9 +177,7 @@ pub fn compare(synthesis: &Synthesis) -> Vec<BaselineRecord> {
     let (_, sc_single_ms) = time(|| scatter::run_with(ds, 100, 1));
     let (seed_sc, sc_seed_ms) = time(|| seed_scatter(ds, 100));
     assert_eq!(
-        // digg-lint: allow(no-lib-unwrap) — bit-identity harness: a serialization failure is itself a baseline failure worth a loud stop
         serde_json::to_string(&new_sc).unwrap(),
-        // digg-lint: allow(no-lib-unwrap) — bit-identity harness: a serialization failure is itself a baseline failure worth a loud stop
         serde_json::to_string(&seed_sc).unwrap(),
         "scatter diverged from seed"
     );
@@ -191,9 +189,7 @@ pub fn compare(synthesis: &Synthesis) -> Vec<BaselineRecord> {
     let (single_it, it_single_ms) = time(|| intext::run_with(synthesis, PROMOTION_THRESHOLD, 1));
     let (_, it_seed_ms) = time(|| intext::run_with(synthesis, PROMOTION_THRESHOLD, 1));
     assert_eq!(
-        // digg-lint: allow(no-lib-unwrap) — bit-identity harness: a serialization failure is itself a baseline failure worth a loud stop
         serde_json::to_string(&new_it).unwrap(),
-        // digg-lint: allow(no-lib-unwrap) — bit-identity harness: a serialization failure is itself a baseline failure worth a loud stop
         serde_json::to_string(&single_it).unwrap(),
         "intext diverged across thread counts"
     );

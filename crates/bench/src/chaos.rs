@@ -105,7 +105,6 @@ fn lenient_or_panic(
     cfg: &SupervisorConfig,
 ) -> (Vec<CellResult>, SweepDegradationReport) {
     run_sweep_supervised_lenient(specs, seeds, cfg)
-        // digg-lint: allow(no-lib-unwrap) — a SweepError here is a harness failure (dead pipes, unwritable checkpoint dir), not a result; cell failures come back in the report
         .unwrap_or_else(|e| panic!("chaos_sweep supervisor failed: {e}"))
 }
 
@@ -217,14 +216,12 @@ pub fn run_chaos_sweep(seed: u64) -> (Vec<Artifact>, usize) {
     // checkpointing off vs every-N.
     let overhead_dir =
         std::env::temp_dir().join(format!("digg-chaos-overhead-{}", std::process::id()));
-    // digg-lint: allow(no-lib-unwrap) — temp-dir creation failing is a harness failure
     std::fs::create_dir_all(&overhead_dir).expect("create overhead temp dir");
     let overhead_path = overhead_dir.join("cell_overhead.snap");
     let spec = &specs[0];
     let off = CellCheckpointing::default();
     let (run_off, off_ms) = time_ms(|| {
         run_cell_checkpointed(spec, seed, &off)
-            // digg-lint: allow(no-lib-unwrap) — the uncheckpointed probe failing is a harness failure
             .unwrap_or_else(|e| panic!("overhead probe (off) failed: {e}"))
             .0
     });
@@ -235,7 +232,6 @@ pub fn run_chaos_sweep(seed: u64) -> (Vec<Artifact>, usize) {
     };
     let ((run_on, report), on_ms) = time_ms(|| {
         run_cell_checkpointed(spec, seed, &on)
-            // digg-lint: allow(no-lib-unwrap) — checkpoint write failing in the overhead probe is a harness failure
             .unwrap_or_else(|e| panic!("overhead probe (on) failed: {e}"))
     });
     let overhead_ok = run_on == run_off && report.checkpoints_written > 0;

@@ -152,7 +152,6 @@ fn sweep_or_panic(
     cfg: &SupervisorConfig,
 ) -> Vec<CellOutcome> {
     run_sweep_supervised(specs, seeds, cfg)
-        // digg-lint: allow(no-lib-unwrap) — a SweepError here is a harness failure (dead pipes, unwritable checkpoint dir), not a result
         .unwrap_or_else(|e: SweepError| panic!("checkpoint_sweep supervisor failed: {e}"))
 }
 
@@ -210,7 +209,6 @@ pub fn run_checkpoint_sweep(seed: u64) -> (Vec<Artifact>, usize) {
     // every-N, events/sec both ways.
     let overhead_dir =
         std::env::temp_dir().join(format!("digg-checkpoint-overhead-{}", std::process::id()));
-    // digg-lint: allow(no-lib-unwrap) — temp-dir creation failing is a harness failure
     std::fs::create_dir_all(&overhead_dir).expect("create overhead temp dir");
     let overhead_path: PathBuf = overhead_dir.join("cell_overhead.snap");
     let spec = &specs[0];
@@ -233,7 +231,6 @@ pub fn run_checkpoint_sweep(seed: u64) -> (Vec<Artifact>, usize) {
     };
     let ((run_on, report), on_ms) = time_ms(|| {
         run_cell_checkpointed(spec, seed, &on)
-            // digg-lint: allow(no-lib-unwrap) — checkpoint write failing in the overhead probe is a harness failure
             .unwrap_or_else(|e| panic!("overhead probe failed: {e}"))
     });
     let overhead_ok = run_on == run_off && report.checkpoints_written > 0;
@@ -248,7 +245,6 @@ pub fn run_checkpoint_sweep(seed: u64) -> (Vec<Artifact>, usize) {
     let snapshot_bytes = bytes.len();
     let (restored, decode_ms) = time_ms(|| {
         Sim::restore(&bytes, scenario_population(scale_spec, seed))
-            // digg-lint: allow(no-lib-unwrap) — decoding the bytes we just encoded can only fail on a snapshot-layer bug
             .unwrap_or_else(|e| panic!("scaled snapshot failed to restore: {e}"))
     });
     let snapshot_round_trip = restored.snapshot() == bytes;

@@ -205,7 +205,6 @@ pub fn sweep_cells(
         // dropped with the unwind; only the RateCell value escapes.
         let guarded = catch_unwind(AssertUnwindSafe(|| match cell {
             Some(rate) => degrade_cell(synthesis, rate, seed),
-            // digg-lint: allow(no-lib-unwrap) — deliberate: the fault-injection poison cell panics on purpose to exercise isolation
             None => panic!("{POISON_MESSAGE}"),
         }));
         match guarded {
@@ -215,7 +214,6 @@ pub fn sweep_cells(
     });
     match outcomes {
         Ok(outcomes) => outcomes,
-        // digg-lint: allow(no-lib-unwrap) — re-raise of an aggregated WorkerPanic: a panic outside the guarded cell is a harness bug
         Err(e) => panic!("degradation sweep worker panicked outside its cell: {e}"),
     }
 }

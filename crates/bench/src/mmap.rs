@@ -131,11 +131,9 @@ pub fn run_mmap_sweep(seed: u64) -> (Vec<Artifact>, usize) {
     // Snapshot write + the two load paths.
     let path = map_path(params.users);
     let (write_res, write_ms) = time_ms(|| write_graph_map(&mem, &path));
-    // digg-lint: allow(no-lib-unwrap) — snapshot write failure is a fatal harness-environment error; there is no partial-result mode
     write_res.unwrap_or_else(|e| panic!("mmap_sweep: writing {} failed: {e}", path.display()));
     let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     let (map, open_ms) = time_ms(|| GraphMap::open(&path));
-    // digg-lint: allow(no-lib-unwrap) — we just wrote this snapshot; failing to reopen it is a fatal harness error
     let map = map.unwrap_or_else(|e| panic!("mmap_sweep: verified open failed: {e}"));
     let (trusted, trusted_ms) = time_ms(|| GraphMap::open_trusted(&path));
     drop(trusted);

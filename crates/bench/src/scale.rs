@@ -179,7 +179,6 @@ pub fn sweep_totals<G: social_graph::FanView + Sync>(
             s.influence_after(voters.len()) as u64,
         )
     })
-    // digg-lint: allow(no-lib-unwrap) — re-raise of an aggregated WorkerPanic; scale rows have no partial-result mode
     .unwrap_or_else(|e| panic!("graph_scale sweep worker panicked: {e}"));
     per_story
         .into_iter()

@@ -148,7 +148,6 @@ pub fn sim_sweep_payload_with(seed: u64, sup: &SupervisorConfig) -> SimSweepPayl
     // experiment — whether the cell ran in-process or in a subprocess.
     let outcomes = match run_sweep_supervised(&sim_sweep_specs(), &seeds, sup) {
         Ok(outcomes) => outcomes,
-        // digg-lint: allow(no-lib-unwrap) — a SweepError is a harness failure (dead worker pipes, bad config), not a scenario result
         Err(e) => panic!("sim_sweep supervisor failed: {e}"),
     };
     let mut runs = Vec::new();

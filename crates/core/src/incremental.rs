@@ -70,6 +70,7 @@ pub struct IncrementalSweep {
     /// random fan against a voter set of at most a few hundred —
     /// resolves from L1 instead of touching the full bitset. A set
     /// bit says nothing; the bitset confirms.
+    // digg-lint: allow(snapshot-coverage) — derived summary of `voted`, rebuilt bit-by-bit on restore
     voted_filter: [u64; 8],
     /// The accumulated per-vote series (what a batch sweep of the
     /// applied prefix would have produced).
@@ -89,6 +90,7 @@ pub struct IncrementalSweep {
     /// Cached decision path for
     /// [`verdict_streaming`](IncrementalSweep::verdict_streaming):
     /// derived state, reset by `begin` and excluded from snapshots.
+    // digg-lint: allow(snapshot-coverage) — derived decision cache, reset by `begin`; a restored sweep recomputes it
     stream: Option<StreamingPrediction>,
 }
 
@@ -165,6 +167,7 @@ impl IncrementalSweep {
     ///
     /// Panics if `v` is out of range for `graph` (ids come from the
     /// graph the story was scraped against).
+    // digg-lint: hot-path
     pub fn apply_vote<G: FanView>(&mut self, graph: &G, v: UserId) -> VoteApplied {
         let position = self.votes_applied;
         let mut in_network = None;
@@ -173,7 +176,9 @@ impl IncrementalSweep {
             if hit {
                 self.cascade += 1;
             }
+            // digg-lint: allow(hot-path-alloc) — amortized push into the per-story output column; one story's votes stay well under a doubling
             self.out.flags.push(hit);
+            // digg-lint: allow(hot-path-alloc) — amortized push into the per-story output column; one story's votes stay well under a doubling
             self.out.cascade.push(self.cascade);
             in_network = Some(hit);
         } else {
@@ -197,6 +202,7 @@ impl IncrementalSweep {
                 *audience += 1;
             }
         });
+        // digg-lint: allow(hot-path-alloc) — amortized push into the per-story output column; one story's votes stay well under a doubling
         self.out.influence.push(self.audience);
         self.votes_applied += 1;
         VoteApplied {

@@ -158,7 +158,7 @@ impl<T> EventQueue<T> {
         entry.generation += 1;
         self.live_len -= 1;
         if entry.generation < u32::MAX {
-            // digg-lint: allow(no-truncating-cast) — slot indices are allocated below u32::MAX by construction
+            // digg-lint: allow(no-truncating-cast, hot-path-alloc) — slot indices are allocated below u32::MAX by construction; the free list never outgrows the slab, so this push reuses capacity freed by schedule
             self.free.push(slot as u32);
         }
     }
@@ -217,6 +217,7 @@ impl<T> EventQueue<T> {
     }
 
     /// Pop the next live event in `(time, class, seq)` order.
+    // digg-lint: hot-path
     pub fn pop(&mut self) -> Option<Event<T>> {
         self.skim_tombstones();
         let Reverse((time, class, _seq, id)) = self.heap.pop()?;

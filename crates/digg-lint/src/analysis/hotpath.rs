@@ -1,0 +1,180 @@
+//! `hot-path-alloc`: functions marked `// digg-lint: hot-path` (and
+//! every function of a file with a module-level marker) must not heap
+//! allocate — directly or within one call level of same-crate callees.
+//!
+//! The per-vote kernels (`apply_vote`, the `membership`/`bitset`
+//! probes, `EventQueue::pop`) run hundreds of millions of times per
+//! sweep; a stray `format!` or `Vec` growth there is a real
+//! regression the benches only catch after the fact. Callee findings
+//! are reported at the allocation line inside the callee (that is
+//! where the fix or the pragma belongs); call-graph resolution is the
+//! conservative same-file-first scheme of
+//! [`WorkspaceModel::resolve_call`], and bare container method names
+//! are never resolved ([`crate::analysis::COMMON_METHODS`]) — the
+//! allocation tokens below catch those textually at the call site.
+
+use crate::analysis::resolvable;
+use crate::model::WorkspaceModel;
+use crate::rules::{Violation, HOT_PATH_ALLOC, MALFORMED_PRAGMA};
+
+/// Textual allocation markers (matched against blanked code).
+const ALLOC_TOKENS: [&str; 14] = [
+    "Vec::new",
+    "vec!",
+    "with_capacity",
+    ".to_vec(",
+    ".clone(",
+    "format!",
+    "Box::new",
+    "String::new",
+    "String::from",
+    ".to_string(",
+    ".to_owned(",
+    ".collect(",
+    ".push(",
+    ".extend(",
+];
+
+fn alloc_token(code: &str) -> Option<&'static str> {
+    ALLOC_TOKENS.iter().find(|t| code.contains(*t)).copied()
+}
+
+pub fn run(model: &WorkspaceModel) -> Vec<(usize, Violation)> {
+    let mut out: Vec<(usize, Violation)> = Vec::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        // A hot-path marker that binds to nothing is an error, like an
+        // unused allow: markers must not rot.
+        for &mln in &file.syms.dangling_hot_path {
+            out.push((
+                fi,
+                Violation {
+                    rule: MALFORMED_PRAGMA,
+                    line: mln + 1,
+                    snippet: file
+                        .raw
+                        .get(mln)
+                        .map(|l| l.trim().to_string())
+                        .unwrap_or_default(),
+                },
+            ));
+        }
+        let crate_files = file
+            .crate_idx
+            .map(|ci| model.crate_files(ci))
+            .unwrap_or_default();
+        for f in &file.syms.fns {
+            if !f.hot_path || f.in_test {
+                continue;
+            }
+            let Some((start, end)) = f.body else {
+                continue;
+            };
+            scan_body(model, fi, start, end, &mut out);
+            for callee in &f.calls {
+                if !resolvable(callee) {
+                    continue;
+                }
+                for (cfi, cj) in model.resolve_call(&crate_files, fi, callee) {
+                    let cf = &model.files[cfi].syms.fns[cj];
+                    // A hot callee is scanned on its own; an in-test
+                    // callee cannot be on the hot path.
+                    if cf.hot_path || cf.in_test {
+                        continue;
+                    }
+                    if let Some((cs, ce)) = cf.body {
+                        scan_body(model, cfi, cs, ce, &mut out);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.0, a.1.line, a.1.rule).cmp(&(b.0, b.1.line, b.1.rule)));
+    out.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    out
+}
+
+fn scan_body(
+    model: &WorkspaceModel,
+    fi: usize,
+    start: usize,
+    end: usize,
+    out: &mut Vec<(usize, Violation)>,
+) {
+    let file = &model.files[fi];
+    for ln in start..=end.min(file.map.code.len().saturating_sub(1)) {
+        if file.map.in_test.get(ln).copied().unwrap_or(false) {
+            continue;
+        }
+        if let Some(tok) = alloc_token(&file.map.code[ln]) {
+            let snippet = file
+                .raw
+                .get(ln)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default();
+            out.push((
+                fi,
+                Violation {
+                    rule: HOT_PATH_ALLOC,
+                    line: ln + 1,
+                    snippet: format!("`{tok}` on a hot path — {snippet}"),
+                },
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_src(src: &str) -> Vec<Violation> {
+        run(&WorkspaceModel::single("crates/x/src/lib.rs", src))
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    #[test]
+    fn unmarked_fns_may_allocate() {
+        assert!(run_src("fn f() {\n    let v = Vec::new();\n    v.push(1);\n}\n").is_empty());
+    }
+
+    #[test]
+    fn marked_fn_rejects_direct_allocation() {
+        let v =
+            run_src("// digg-lint: hot-path\nfn f(out: &mut Vec<u32>) {\n    out.push(1);\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, HOT_PATH_ALLOC);
+        assert!(v[0].snippet.contains(".push("));
+    }
+
+    #[test]
+    fn allocation_one_call_level_down_fires_at_callee() {
+        let src = "// digg-lint: hot-path\nfn hot(&mut self) {\n    self.release(3);\n}\nfn release(&mut self, s: u32) {\n    self.free.push(s);\n}\n";
+        let v = run_src(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 6, "reported at the allocation inside the callee");
+    }
+
+    #[test]
+    fn two_levels_down_is_out_of_scope() {
+        let src = "// digg-lint: hot-path\nfn hot(&mut self) {\n    self.mid();\n}\nfn mid(&mut self) {\n    self.deep();\n}\nfn deep(&mut self) {\n    self.v.push(1);\n}\n";
+        assert!(run_src(src).is_empty());
+    }
+
+    #[test]
+    fn file_level_marker_covers_all_fns_but_not_tests() {
+        let src = "// digg-lint: hot-path\n\nfn a(x: u64) -> u64 {\n    x + 1\n}\nfn b(v: &mut Vec<u64>) {\n    v.push(1);\n}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        let v = vec![1];\n    }\n}\n";
+        let v = run_src(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 7);
+    }
+
+    #[test]
+    fn dangling_marker_is_malformed() {
+        let src = "fn a() {}\n// digg-lint: hot-path\nstruct S {\n    x: u32,\n}\n";
+        let v = run_src(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, MALFORMED_PRAGMA);
+    }
+}

@@ -6,11 +6,12 @@
 //! depend on wall-clock or hash-iteration order, and library code
 //! reports failures as typed errors instead of panicking. This crate
 //! makes that contract *written and enforced*: a self-contained
-//! static-analysis pass (own comment/string-aware lexer, line-level
-//! rule engine, zero dependencies) that CI runs on every push.
+//! static-analysis pass (own comment/string-aware lexer, item parser
+//! and workspace symbol graph, zero dependencies) that CI runs on
+//! every push.
 //!
-//! The rules — see [`rules`] for the ids and DESIGN.md §13 for the
-//! invariant each one guards:
+//! Two layers of rules — see [`rules`] for the ids, DESIGN.md §13 for
+//! the per-line invariants and §18 for the workspace analyses:
 //!
 //! | rule | guards |
 //! |------|--------|
@@ -21,32 +22,52 @@
 //! | `no-truncating-cast` | ids/counts never silently truncated |
 //! | `raw-thread-fanout` | all fan-out through `des_core::par` |
 //! | `no-unchecked-mmap` | `unsafe` confined to the one audited mmap module |
+//! | `snapshot-coverage` | every field of a Snapshot/Restore type round-trips |
+//! | `no-async-kernel` | the replay kernel is synchronous |
+//! | `kernel-dep-shell` | kernel crates cannot depend on shell crates |
+//! | `hot-path-alloc` | the per-vote kernels stay allocation-free |
+//! | `unordered-taint` | no hash-order data reaches a serialization sink |
 //!
-//! Suppression is only possible inline:
+//! The kernel/shell crate partition and the file-level carve-outs
+//! live in `lint-boundary.toml` at the workspace root ([`manifest`]).
+//! Inline suppression is only possible via
 //!
 //! ```text
 //! // digg-lint: allow(no-lib-unwrap) — reason the invariant holds
 //! ```
 //!
 //! and an allow that suppresses nothing is itself an error, so the
-//! exemption ledger can only shrink. Run with
+//! exemption ledger can only shrink — enforced in CI by the baseline
+//! gate (`--baseline results/lint_baseline.json`). Run with
 //! `cargo run -p digg-lint -- --workspace` (add `--json` for the
 //! machine-readable report).
 
+pub mod analysis;
+pub mod baseline;
 pub mod lexer;
+pub mod manifest;
+pub mod model;
 pub mod pragma;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 pub mod walk;
 
+use model::WorkspaceModel;
 use rules::{Scope, Violation};
+use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Linter configuration: the explicit allowlists the rule definitions
-/// reference. Paths are workspace-relative suffix matches.
+/// Linter configuration. In workspace mode this is loaded from
+/// `lint-boundary.toml` when present; the defaults keep the historic
+/// allowlists for single-file and unit-test use. Paths are
+/// workspace-relative suffix matches.
 #[derive(Debug, Clone)]
 pub struct Config {
-    /// Modules allowed to read the wall clock (bench timing only).
+    /// Path prefixes of shell crates (harness/driver layer): wall
+    /// clock, ambient RNG, async, and CLI panics are legal there.
+    pub shell_paths: Vec<String>,
+    /// Kernel files allowed to read the wall clock.
     pub wallclock_allow: Vec<String>,
     /// Modules allowed raw `std::thread` fan-out (the deterministic
     /// primitives themselves).
@@ -59,6 +80,7 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Config {
         Config {
+            shell_paths: Vec::new(),
             wallclock_allow: vec!["crates/bench/src/timing.rs".to_string()],
             fanout_allow: vec!["crates/des-core/src/par.rs".to_string()],
             mmap_allow: vec!["crates/social-graph/src/mmap.rs".to_string()],
@@ -70,10 +92,63 @@ impl Config {
     fn scope_for(&self, rel: &str) -> Scope {
         Scope {
             kind: walk::classify(rel),
+            shell: self
+                .shell_paths
+                .iter()
+                .any(|p| !p.is_empty() && rel.starts_with(p)),
             wallclock_exempt: self.wallclock_allow.iter().any(|p| rel.ends_with(p)),
             fanout_exempt: self.fanout_allow.iter().any(|p| rel.ends_with(p)),
             mmap_exempt: self.mmap_allow.iter().any(|p| rel.ends_with(p)),
         }
+    }
+
+    /// Resolve the effective workspace config from `lint-boundary.toml`
+    /// (replacing the default allowlists entirely) and return the
+    /// shell crate names. Every workspace crate must be assigned to
+    /// exactly one side — a new crate cannot land unpartitioned.
+    fn from_boundary(
+        boundary: &manifest::BoundaryFile,
+        crates: &[model::CrateInfo],
+    ) -> Result<(Config, Vec<String>), String> {
+        for name in boundary.kernel.iter().chain(boundary.shell.iter()) {
+            if !crates.iter().any(|c| c.name == *name) {
+                return Err(format!("lint-boundary.toml names unknown crate `{name}`"));
+            }
+        }
+        for c in crates {
+            let in_kernel = boundary.kernel.iter().any(|n| n == &c.name);
+            let in_shell = boundary.shell.iter().any(|n| n == &c.name);
+            match (in_kernel, in_shell) {
+                (true, true) => {
+                    return Err(format!(
+                        "lint-boundary.toml lists crate `{}` as both kernel and shell",
+                        c.name
+                    ))
+                }
+                (false, false) => {
+                    return Err(format!(
+                        "lint-boundary.toml does not partition crate `{}` (add it to \
+                         [crates] kernel or shell)",
+                        c.name
+                    ))
+                }
+                _ => {}
+            }
+        }
+        let shell_paths = crates
+            .iter()
+            .filter(|c| boundary.shell.iter().any(|n| n == &c.name))
+            .map(|c| c.dir_prefix.clone())
+            .collect();
+        Ok((
+            Config {
+                shell_paths,
+                wallclock_allow: boundary.wallclock.clone(),
+                fanout_allow: boundary.fanout.clone(),
+                mmap_allow: boundary.unsafe_mmap.clone(),
+            },
+            boundary.shell.clone(),
+        ))
     }
 }
 
@@ -86,16 +161,34 @@ pub struct FileReport {
     pub violations: Vec<Violation>,
     /// Allow pragmas that suppressed at least one violation.
     pub allows_honoured: usize,
+    /// Rule id of every violation a pragma suppressed.
+    pub suppressed_rules: Vec<&'static str>,
 }
 
 /// Lint one file's source text (the unit the fixture tests drive).
+/// Runs the per-line rules plus the source-level workspace analyses
+/// over a single-file model, so fixtures exercise the same code paths
+/// as `--workspace`.
 pub fn lint_source(rel_path: &str, src: &str, config: &Config) -> FileReport {
     let map = lexer::lex(src);
     let raw: Vec<&str> = src.split('\n').collect();
     let scope = config.scope_for(rel_path);
-    let raw_violations = rules::check(&map, scope, &raw);
-    let (allows, mut malformed) = pragma::parse(&map, &raw);
-    let mut violations = pragma::apply(&map, &raw, raw_violations, &allows);
+    let mut raw_violations = rules::check(&map, scope, &raw);
+    raw_violations.extend(analysis::file_local(rel_path, src));
+    raw_violations.sort_by_key(|v| v.line);
+    finish_file(rel_path, &map, &raw, raw_violations)
+}
+
+/// Shared tail of per-file linting: pragma parse/apply and counting.
+fn finish_file(
+    rel_path: &str,
+    map: &lexer::SourceMap,
+    raw: &[&str],
+    raw_violations: Vec<Violation>,
+) -> FileReport {
+    let (allows, mut malformed) = pragma::parse(map, raw);
+    let (mut violations, suppressed_rules) =
+        pragma::apply_counted(map, raw, raw_violations, &allows);
     let unused = violations
         .iter()
         .filter(|v| v.rule == rules::UNUSED_ALLOW)
@@ -106,6 +199,7 @@ pub fn lint_source(rel_path: &str, src: &str, config: &Config) -> FileReport {
         path: rel_path.to_string(),
         violations,
         allows_honoured: allows.len().saturating_sub(unused),
+        suppressed_rules,
     }
 }
 
@@ -118,6 +212,9 @@ pub struct WorkspaceReport {
     pub files_scanned: usize,
     /// Total allow pragmas honoured across the tree.
     pub allows_honoured: usize,
+    /// Suppressed-violation count per rule id (the per-rule ledger
+    /// the baseline gate keeps shrink-only).
+    pub suppressed_by_rule: BTreeMap<String, usize>,
 }
 
 impl WorkspaceReport {
@@ -130,25 +227,95 @@ impl WorkspaceReport {
     }
 }
 
-/// Lint every workspace source under `root`.
+/// Lint every workspace source under `root`: per-line rules, the
+/// workspace symbol-graph analyses, and the manifest-level boundary
+/// check, all merged before pragma filtering.
 pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<WorkspaceReport> {
-    let files = walk::workspace_files(root)?;
-    let mut dirty = Vec::new();
-    let mut allows = 0usize;
-    let files_scanned = files.len();
-    for rel in &files {
+    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+
+    // Crate discovery + effective boundary config.
+    let crates = model::discover_crates(root)?;
+    let boundary_path = root.join("lint-boundary.toml");
+    let (config, shell_names) = match std::fs::read_to_string(&boundary_path) {
+        Ok(text) => {
+            let b = manifest::parse_boundary(&text)
+                .map_err(|e| invalid(format!("lint-boundary.toml: {e}")))?;
+            Config::from_boundary(&b, &crates).map_err(invalid)?
+        }
+        Err(_) => (config.clone(), Vec::new()),
+    };
+
+    // Build the workspace model.
+    let rels = walk::workspace_files(root)?;
+    let files_scanned = rels.len();
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in &rels {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         let src = std::fs::read_to_string(root.join(rel))?;
-        let fr = lint_source(&rel_str, &src, config);
+        let map = lexer::lex(&src);
+        let syms = symbols::parse(&map);
+        files.push(model::FileEntry {
+            crate_idx: WorkspaceModel::crate_for(&crates, &rel_str),
+            rel: rel_str,
+            map,
+            raw: src.split('\n').map(str::to_string).collect(),
+            syms,
+        });
+    }
+    let ws = WorkspaceModel { crates, files };
+
+    // Workspace analyses, grouped per file.
+    let mut extra: BTreeMap<usize, Vec<Violation>> = BTreeMap::new();
+    for (fi, v) in analysis::run_all(&ws) {
+        extra.entry(fi).or_default().push(v);
+    }
+
+    // Per-file merge + pragma filtering.
+    let mut dirty = Vec::new();
+    let mut allows = 0usize;
+    let mut suppressed_by_rule: BTreeMap<String, usize> = BTreeMap::new();
+    for (fi, entry) in ws.files.iter().enumerate() {
+        let mut scope = config.scope_for(&entry.rel);
+        if let Some(ci) = entry.crate_idx {
+            scope.shell = shell_names.iter().any(|n| n == &ws.crates[ci].name);
+        }
+        let raw: Vec<&str> = entry.raw.iter().map(String::as_str).collect();
+        let mut raw_violations = rules::check(&entry.map, scope, &raw);
+        if let Some(mut v) = extra.remove(&fi) {
+            raw_violations.append(&mut v);
+        }
+        raw_violations.sort_by_key(|v| v.line);
+        let fr = finish_file(&entry.rel, &entry.map, &raw, raw_violations);
         allows += fr.allows_honoured;
+        for r in &fr.suppressed_rules {
+            *suppressed_by_rule.entry((*r).to_string()).or_insert(0) += 1;
+        }
         if !fr.violations.is_empty() {
             dirty.push(fr);
         }
     }
+
+    // Manifest-level boundary violations (no pragma path: boundary
+    // moves are lint-boundary.toml edits).
+    let mut by_manifest: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for (manifest_rel, v) in analysis::boundary::run(&ws.crates, &shell_names) {
+        by_manifest.entry(manifest_rel).or_default().push(v);
+    }
+    for (path, violations) in by_manifest {
+        dirty.push(FileReport {
+            path,
+            violations,
+            allows_honoured: 0,
+            suppressed_rules: Vec::new(),
+        });
+    }
+    dirty.sort_by(|a, b| a.path.cmp(&b.path));
+
     Ok(WorkspaceReport {
         dirty,
         files_scanned,
         allows_honoured: allows,
+        suppressed_by_rule,
     })
 }
 
@@ -199,6 +366,36 @@ mod tests {
         let src = "fn f() { x.unwrap(); } // digg-lint: allow(no-lib-unwrap) — fixture\n";
         let fr = lint_source("crates/x/src/lib.rs", src, &Config::default());
         assert!(fr.violations.is_empty());
+        assert_eq!(fr.allows_honoured, 1);
+        assert_eq!(fr.suppressed_rules, vec![rules::NO_LIB_UNWRAP]);
+    }
+
+    #[test]
+    fn shell_paths_waive_harness_rules() {
+        let config = Config {
+            shell_paths: vec!["crates/bench/".to_string()],
+            ..Config::default()
+        };
+        let src = "pub fn t() { let _ = std::time::Instant::now(); }";
+        let fr = lint_source("crates/bench/src/chaos.rs", src, &config);
+        assert!(fr.violations.is_empty(), "{:?}", fr.violations);
+        let fr = lint_source("crates/core/src/pipeline.rs", src, &config);
+        assert_eq!(fr.violations.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_coverage_runs_in_single_file_mode() {
+        let src = "struct S {\n    a: u64,\n    b: u64,\n}\nimpl Snapshot for S {\n    fn snapshot(&self, w: &mut W) {\n        w.put(self.a);\n    }\n}\n";
+        let fr = lint_source("crates/x/src/lib.rs", src, &Config::default());
+        assert_eq!(fr.violations.len(), 1, "{:?}", fr.violations);
+        assert_eq!(fr.violations[0].rule, rules::SNAPSHOT_COVERAGE);
+        // A field-level pragma on the uncovered field suppresses it.
+        let with_pragma = src.replace(
+            "    b: u64,",
+            "    // digg-lint: allow(snapshot-coverage) — derived, rebuilt on restore\n    b: u64,",
+        );
+        let fr = lint_source("crates/x/src/lib.rs", &with_pragma, &Config::default());
+        assert!(fr.violations.is_empty(), "{:?}", fr.violations);
         assert_eq!(fr.allows_honoured, 1);
     }
 }

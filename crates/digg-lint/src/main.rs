@@ -1,8 +1,11 @@
-//! CLI: `digg-lint [--workspace] [--json] [--root DIR] [FILES…]`.
+//! CLI: `digg-lint [--workspace] [--json] [--root DIR]
+//! [--baseline PATH] [--write-baseline PATH] [FILES…]`.
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 violations or baseline regression, 2 usage
+//! or I/O error.
 
-use digg_lint::{lint_source, lint_workspace, report, Config, FileReport};
+use digg_lint::{baseline, lint_source, lint_workspace, report, Config, FileReport};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -10,6 +13,8 @@ struct Args {
     workspace: bool,
     json: bool,
     root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
@@ -18,6 +23,8 @@ fn parse_args() -> Result<Args, String> {
         workspace: false,
         json: false,
         root: None,
+        baseline: None,
+        write_baseline: None,
         files: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
@@ -29,10 +36,18 @@ fn parse_args() -> Result<Args, String> {
                 Some(dir) => out.root = Some(PathBuf::from(dir)),
                 None => return Err("--root requires a directory".to_string()),
             },
+            "--baseline" => match argv.next() {
+                Some(p) => out.baseline = Some(PathBuf::from(p)),
+                None => return Err("--baseline requires a file".to_string()),
+            },
+            "--write-baseline" => match argv.next() {
+                Some(p) => out.write_baseline = Some(PathBuf::from(p)),
+                None => return Err("--write-baseline requires a file".to_string()),
+            },
             "--help" | "-h" => {
-                return Err(
-                    "usage: digg-lint [--workspace] [--json] [--root DIR] [FILES…]".to_string(),
-                )
+                return Err("usage: digg-lint [--workspace] [--json] [--root DIR] \
+                     [--baseline PATH] [--write-baseline PATH] [FILES…]"
+                    .to_string())
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             file => out.files.push(PathBuf::from(file)),
@@ -40,6 +55,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if !out.workspace && out.files.is_empty() {
         out.workspace = true;
+    }
+    if (out.baseline.is_some() || out.write_baseline.is_some()) && !out.workspace {
+        return Err("--baseline/--write-baseline require --workspace".to_string());
     }
     Ok(out)
 }
@@ -60,7 +78,15 @@ fn main() -> ExitCode {
         .or_else(|| std::env::current_dir().ok())
         .unwrap_or_else(|| PathBuf::from("."));
 
-    let (reports, files_scanned, allows): (Vec<FileReport>, usize, usize) = if args.workspace {
+    let empty_ledger = BTreeMap::new();
+    let (reports, files_scanned, allows, ledger): (
+        Vec<FileReport>,
+        usize,
+        usize,
+        BTreeMap<String, usize>,
+    );
+    let mut gate_failed = false;
+    if args.workspace {
         let Some(root) = digg_lint::walk::workspace_root(&start) else {
             eprintln!(
                 "digg-lint: no workspace Cargo.toml above {}",
@@ -68,16 +94,57 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         };
-        match lint_workspace(&root, &config) {
-            Ok(ws) => (ws.dirty, ws.files_scanned, ws.allows_honoured),
+        let ws = match lint_workspace(&root, &config) {
+            Ok(ws) => ws,
             Err(e) => {
                 eprintln!("digg-lint: {e}");
                 return ExitCode::from(2);
             }
+        };
+        if let Some(path) = &args.write_baseline {
+            let json = report::render_json(
+                &ws.dirty,
+                ws.files_scanned,
+                ws.allows_honoured,
+                &ws.suppressed_by_rule,
+            );
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("digg-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("digg-lint: baseline written to {}", path.display());
         }
+        if let Some(path) = &args.baseline {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("digg-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let base = match baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("digg-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let cmp = baseline::compare(&ws, &base);
+            for note in &cmp.notes {
+                eprintln!("digg-lint: note: {note}");
+            }
+            for fail in &cmp.failures {
+                eprintln!("digg-lint: baseline: {fail}");
+            }
+            gate_failed = !cmp.passed();
+        }
+        reports = ws.dirty;
+        files_scanned = ws.files_scanned;
+        allows = ws.allows_honoured;
+        ledger = ws.suppressed_by_rule;
     } else {
-        let mut reports = Vec::new();
-        let mut allows = 0usize;
+        let mut out = Vec::new();
+        let mut n_allows = 0usize;
         for f in &args.files {
             let rel = f.to_string_lossy().replace('\\', "/");
             // Relative paths anchor at --root (when given) so rule
@@ -90,8 +157,8 @@ fn main() -> ExitCode {
             match std::fs::read_to_string(&on_disk) {
                 Ok(src) => {
                     let fr = lint_source(&rel, &src, &config);
-                    allows += fr.allows_honoured;
-                    reports.push(fr);
+                    n_allows += fr.allows_honoured;
+                    out.push(fr);
                 }
                 Err(e) => {
                     eprintln!("digg-lint: {}: {e}", f.display());
@@ -99,17 +166,22 @@ fn main() -> ExitCode {
                 }
             }
         }
-        let n = reports.len();
-        (reports, n, allows)
-    };
+        files_scanned = out.len();
+        allows = n_allows;
+        reports = out;
+        ledger = empty_ledger;
+    }
 
     let total: usize = reports.iter().map(|r| r.violations.len()).sum();
     if args.json {
-        print!("{}", report::render_json(&reports, files_scanned, allows));
+        print!(
+            "{}",
+            report::render_json(&reports, files_scanned, allows, &ledger)
+        );
     } else {
         print!("{}", report::render_text(&reports, files_scanned, allows));
     }
-    if total == 0 {
+    if total == 0 && !gate_failed {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -1,0 +1,255 @@
+//! The workspace model the cross-file analyses run over: every linted
+//! file lexed and item-parsed, mapped to its owning crate, plus the
+//! crate manifests and an intra-crate call-graph resolver.
+
+use crate::lexer::SourceMap;
+use crate::manifest::{self, CrateManifest};
+use crate::symbols::{self, FileSymbols};
+use std::path::Path;
+
+/// One crate of the workspace.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name from `[package] name`.
+    pub name: String,
+    /// Workspace-relative manifest path (`/`-separated).
+    pub manifest_rel: String,
+    /// Workspace-relative directory prefix owning this crate's files
+    /// (empty for the root package, else `crates/<dir>/`).
+    pub dir_prefix: String,
+    /// `[dependencies]` edges as `(dep_name, 1-based manifest line)`.
+    pub deps: Vec<(String, usize)>,
+}
+
+/// One linted file, fully prepared.
+#[derive(Debug, Clone)]
+pub struct FileEntry {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Index into [`WorkspaceModel::crates`], if the file maps to one.
+    pub crate_idx: Option<usize>,
+    pub map: SourceMap,
+    /// Raw source lines (for snippets).
+    pub raw: Vec<String>,
+    pub syms: FileSymbols,
+}
+
+/// The whole workspace, ready for analysis.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceModel {
+    pub crates: Vec<CrateInfo>,
+    pub files: Vec<FileEntry>,
+}
+
+/// Discover the workspace's crates: the root package (if any) plus
+/// every `crates/*/Cargo.toml`. Vendored crates are out of scope, as
+/// in [`crate::walk`].
+pub fn discover_crates(root: &Path) -> std::io::Result<Vec<CrateInfo>> {
+    let bad = |rel: &str, e: manifest::ManifestError| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{rel}: {e}"))
+    };
+    let mut crates = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if let Ok(text) = std::fs::read_to_string(&root_manifest) {
+        let m: CrateManifest =
+            manifest::parse_cargo_toml(&text).map_err(|e| bad("Cargo.toml", e))?;
+        if !m.name.is_empty() {
+            crates.push(CrateInfo {
+                name: m.name,
+                manifest_rel: "Cargo.toml".to_string(),
+                dir_prefix: String::new(),
+                deps: m.deps,
+            });
+        }
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name())
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            let dir_lossy = d.to_string_lossy().replace('\\', "/");
+            let manifest_abs = crates_dir.join(&d).join("Cargo.toml");
+            let Ok(text) = std::fs::read_to_string(&manifest_abs) else {
+                continue;
+            };
+            let rel = format!("crates/{dir_lossy}/Cargo.toml");
+            let m = manifest::parse_cargo_toml(&text).map_err(|e| bad(&rel, e))?;
+            if m.name.is_empty() {
+                continue;
+            }
+            crates.push(CrateInfo {
+                name: m.name,
+                manifest_rel: rel,
+                dir_prefix: format!("crates/{dir_lossy}/"),
+                deps: m.deps,
+            });
+        }
+    }
+    Ok(crates)
+}
+
+impl WorkspaceModel {
+    /// Map a workspace-relative file path to its crate index: the
+    /// longest matching `dir_prefix` wins (the root package's empty
+    /// prefix matches everything, so `src/`, `examples/`, `tests/`
+    /// fall to it).
+    pub fn crate_for(crates: &[CrateInfo], rel: &str) -> Option<usize> {
+        crates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| rel.starts_with(c.dir_prefix.as_str()))
+            .max_by_key(|(_, c)| c.dir_prefix.len())
+            .map(|(i, _)| i)
+    }
+
+    /// Build a single-file model (the fixture/unit-test path): one
+    /// anonymous kernel crate owning the file.
+    pub fn single(rel: &str, src: &str) -> WorkspaceModel {
+        let map = crate::lexer::lex(src);
+        let syms = symbols::parse(&map);
+        WorkspaceModel {
+            crates: vec![CrateInfo {
+                name: "local".to_string(),
+                manifest_rel: String::new(),
+                dir_prefix: String::new(),
+                deps: Vec::new(),
+            }],
+            files: vec![FileEntry {
+                rel: rel.to_string(),
+                crate_idx: Some(0),
+                map,
+                raw: src.split('\n').map(str::to_string).collect(),
+                syms,
+            }],
+        }
+    }
+
+    /// Indices of files belonging to crate `crate_idx`.
+    pub fn crate_files(&self, crate_idx: usize) -> Vec<usize> {
+        self.files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.crate_idx == Some(crate_idx))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Resolve a callee name from `from_file` inside one crate.
+    ///
+    /// Resolution is deliberately conservative: same-file functions by
+    /// name first; otherwise a crate-wide match only when the name is
+    /// unambiguous (exactly one function in the whole crate). An
+    /// ambiguous bare name (`new`, `insert`, …) resolves to nothing
+    /// rather than to everything.
+    pub fn resolve_call(
+        &self,
+        crate_files: &[usize],
+        from_file: usize,
+        callee: &str,
+    ) -> Vec<(usize, usize)> {
+        let local: Vec<(usize, usize)> = self.files[from_file]
+            .syms
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == callee && f.body.is_some())
+            .map(|(j, _)| (from_file, j))
+            .collect();
+        if !local.is_empty() {
+            return local;
+        }
+        let global: Vec<(usize, usize)> = crate_files
+            .iter()
+            .flat_map(|&fi| {
+                self.files[fi]
+                    .syms
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.name == callee && f.body.is_some())
+                    .map(move |(j, _)| (fi, j))
+            })
+            .collect();
+        if global.len() == 1 {
+            global
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_file_model() {
+        let m = WorkspaceModel::single("crates/x/src/lib.rs", "fn a() {}\nfn b() { a(); }\n");
+        assert_eq!(m.files.len(), 1);
+        assert_eq!(m.files[0].syms.fns.len(), 2);
+        let r = m.resolve_call(&[0], 0, "a");
+        assert_eq!(r, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn ambiguous_cross_file_call_resolves_to_nothing() {
+        let mut m = WorkspaceModel::single("crates/x/src/a.rs", "fn go() { step(); }\n");
+        let extra = |rel: &str, src: &str| {
+            let map = crate::lexer::lex(src);
+            let syms = symbols::parse(&map);
+            FileEntry {
+                rel: rel.to_string(),
+                crate_idx: Some(0),
+                map,
+                raw: src.split('\n').map(str::to_string).collect(),
+                syms,
+            }
+        };
+        m.files
+            .push(extra("crates/x/src/b.rs", "pub fn step() {}\n"));
+        assert_eq!(m.resolve_call(&[0, 1], 0, "step"), vec![(1, 0)]);
+        m.files
+            .push(extra("crates/x/src/c.rs", "pub fn step() {}\n"));
+        assert!(m.resolve_call(&[0, 1, 2], 0, "step").is_empty());
+    }
+
+    #[test]
+    fn crate_mapping_prefers_longest_prefix() {
+        let crates = vec![
+            CrateInfo {
+                name: "digg-repro".into(),
+                manifest_rel: "Cargo.toml".into(),
+                dir_prefix: String::new(),
+                deps: vec![],
+            },
+            CrateInfo {
+                name: "digg-sim".into(),
+                manifest_rel: "crates/digg-sim/Cargo.toml".into(),
+                dir_prefix: "crates/digg-sim/".into(),
+                deps: vec![],
+            },
+        ];
+        assert_eq!(
+            WorkspaceModel::crate_for(&crates, "crates/digg-sim/src/engine.rs"),
+            Some(1)
+        );
+        assert_eq!(WorkspaceModel::crate_for(&crates, "src/lib.rs"), Some(0));
+        assert_eq!(
+            WorkspaceModel::crate_for(&crates, "examples/quickstart.rs"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn discovers_this_workspace() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = crate::walk::workspace_root(here).expect("workspace root");
+        let crates = discover_crates(&root).expect("discover");
+        assert!(crates.iter().any(|c| c.name == "digg-lint"));
+        assert!(crates.iter().any(|c| c.name == "des-core"));
+        assert!(crates.iter().any(|c| c.dir_prefix.is_empty()));
+    }
+}

@@ -49,6 +49,11 @@ pub fn parse(map: &SourceMap, raw_lines: &[&str]) -> (Vec<Allow>, Vec<Violation>
             .map(|l| l.trim().to_string())
             .unwrap_or_default();
         let rest = comment[at + "digg-lint:".len()..].trim_start();
+        // The `hot-path` marker is not a pragma: it is parsed (and
+        // policed for dangling placement) by [`crate::symbols`].
+        if rest.trim() == "hot-path" {
+            continue;
+        }
         let mut fail = |_why: &str| {
             bad.push(Violation {
                 rule: MALFORMED_PRAGMA,
@@ -103,7 +108,19 @@ pub fn apply(
     violations: Vec<Violation>,
     allows: &[Allow],
 ) -> Vec<Violation> {
+    apply_counted(map, raw_lines, violations, allows).0
+}
+
+/// [`apply`], also returning the rule id of every suppressed
+/// violation — the per-rule ledger the baseline gate compares.
+pub fn apply_counted(
+    map: &SourceMap,
+    raw_lines: &[&str],
+    violations: Vec<Violation>,
+    allows: &[Allow],
+) -> (Vec<Violation>, Vec<&'static str>) {
     let mut used = vec![false; allows.len()];
+    let mut suppressed: Vec<&'static str> = Vec::new();
     let mut out = Vec::new();
     'violations: for v in violations {
         for (i, a) in allows.iter().enumerate() {
@@ -119,6 +136,7 @@ pub fn apply(
             let next_line = comment_only && v.line == a.line + 1;
             if own_line || next_line {
                 used[i] = true;
+                suppressed.push(v.rule);
                 continue 'violations;
             }
         }
@@ -137,7 +155,7 @@ pub fn apply(
         }
     }
     out.sort_by_key(|v| v.line);
-    out
+    (out, suppressed)
 }
 
 #[cfg(test)]
@@ -152,6 +170,7 @@ mod tests {
         let raw: Vec<&str> = src.split('\n').collect();
         let scope = Scope {
             kind: FileKind::Lib,
+            shell: false,
             wallclock_exempt: false,
             fanout_exempt: false,
             mmap_exempt: false,

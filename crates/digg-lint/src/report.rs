@@ -2,9 +2,11 @@
 //!
 //! The JSON writer is hand-rolled (the linter is dependency-free by
 //! design) and emits keys in a fixed order with sorted file entries,
-//! so the report bytes are stable for a given tree.
+//! so the report bytes are stable for a given tree — stable enough to
+//! commit as the baseline the CI gate compares against ([`crate::baseline`]).
 
 use crate::FileReport;
+use std::collections::BTreeMap;
 
 /// Human-readable report: one `path:line: [rule] snippet` per
 /// violation plus a summary line.
@@ -32,13 +34,32 @@ pub fn render_text(reports: &[FileReport], files_scanned: usize, allows: usize) 
     out
 }
 
-/// Machine-readable report.
-pub fn render_json(reports: &[FileReport], files_scanned: usize, allows: usize) -> String {
+/// Machine-readable report. `suppressed_by_rule` is the per-rule
+/// pragma ledger; pass an empty map in single-file mode.
+pub fn render_json(
+    reports: &[FileReport],
+    files_scanned: usize,
+    allows: usize,
+    suppressed_by_rule: &BTreeMap<String, usize>,
+) -> String {
     let mut out = String::from("{\n");
     let total: usize = reports.iter().map(|r| r.violations.len()).sum();
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     out.push_str(&format!("  \"allows_honoured\": {allows},\n"));
     out.push_str(&format!("  \"violations\": {total},\n"));
+    out.push_str("  \"suppressed_by_rule\": {");
+    let mut first = true;
+    for (rule, n) in suppressed_by_rule {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    {}: {n}", json_str(rule)));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
     out.push_str("  \"findings\": [");
     let mut first = true;
     for fr in reports {
@@ -64,7 +85,7 @@ pub fn render_json(reports: &[FileReport], files_scanned: usize, allows: usize) 
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -96,6 +117,7 @@ mod tests {
                 snippet: "x.unwrap(); \"q\"".into(),
             }],
             allows_honoured: 2,
+            suppressed_rules: vec!["no-wallclock", "no-wallclock"],
         }]
     }
 
@@ -110,13 +132,21 @@ mod tests {
 
     #[test]
     fn json_report_is_valid_and_escaped() {
-        let json = render_json(&sample(), 5, 2);
+        let ledger: BTreeMap<String, usize> = [("no-wallclock".to_string(), 2)].into();
+        let json = render_json(&sample(), 5, 2, &ledger);
         assert!(json.contains("\"files_scanned\": 5"));
         assert!(json.contains("\\\"q\\\""));
         assert!(json.contains("\"rule\": \"no-lib-unwrap\""));
+        assert!(json.contains("\"no-wallclock\": 2"));
         // Balanced braces/brackets as a cheap validity check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_ledger_renders_empty_object() {
+        let json = render_json(&[], 0, 0, &BTreeMap::new());
+        assert!(json.contains("\"suppressed_by_rule\": {},"));
     }
 
     #[test]

@@ -16,6 +16,21 @@ pub const NO_UNORDERED_SERIALIZE: &str = "no-unordered-serialize";
 pub const NO_TRUNCATING_CAST: &str = "no-truncating-cast";
 pub const RAW_THREAD_FANOUT: &str = "raw-thread-fanout";
 pub const NO_UNCHECKED_MMAP: &str = "no-unchecked-mmap";
+/// Workspace analysis (DESIGN.md §18): a named field of a type with an
+/// `impl Snapshot`/`Restore` that the corresponding impl bodies never
+/// reference.
+pub const SNAPSHOT_COVERAGE: &str = "snapshot-coverage";
+/// Boundary rule: async constructs in a kernel crate.
+pub const NO_ASYNC_KERNEL: &str = "no-async-kernel";
+/// Boundary rule: a kernel crate's `[dependencies]` names a shell
+/// crate (reported against the `Cargo.toml` line; no pragma escape).
+pub const KERNEL_DEP_SHELL: &str = "kernel-dep-shell";
+/// Workspace analysis: heap allocation in (or one call level below) a
+/// `// digg-lint: hot-path` function.
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// Workspace analysis: hash-order iteration reachable from a
+/// serialization or artifact-write sink.
+pub const UNORDERED_TAINT: &str = "unordered-taint";
 /// Meta-rule: an `allow` pragma that suppressed nothing. Errors, so
 /// the pragma ledger can only shrink — dead exemptions never linger.
 pub const UNUSED_ALLOW: &str = "unused-allow";
@@ -24,7 +39,7 @@ pub const UNUSED_ALLOW: &str = "unused-allow";
 pub const MALFORMED_PRAGMA: &str = "malformed-pragma";
 
 /// The suppressible rules, in reporting order.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 12] = [
     NO_WALLCLOCK,
     NO_AMBIENT_RNG,
     NO_LIB_UNWRAP,
@@ -32,6 +47,11 @@ pub const RULES: [&str; 7] = [
     NO_TRUNCATING_CAST,
     RAW_THREAD_FANOUT,
     NO_UNCHECKED_MMAP,
+    SNAPSHOT_COVERAGE,
+    NO_ASYNC_KERNEL,
+    KERNEL_DEP_SHELL,
+    HOT_PATH_ALLOC,
+    UNORDERED_TAINT,
 ];
 
 /// One-line description per rule (for `--explain` style output and
@@ -69,6 +89,30 @@ pub fn describe(rule: &str) -> &'static str {
              (crates/social-graph/src/mmap.rs); all other code stays safe Rust and consumes \
              mapped memory only through GraphMap's checked slice accessors"
         }
+        SNAPSHOT_COVERAGE => {
+            "named field of a Snapshot/Restore type never referenced in that impl's bodies \
+             (per side, one same-file call level deep); a silently dropped field is the \
+             PR-7 voter_pos bug class — reference it or justify the derived state with a \
+             field-level pragma"
+        }
+        NO_ASYNC_KERNEL => {
+            "async construct (async fn/.await/tokio) in a kernel crate; the replay kernel is \
+             synchronous by decree — async belongs in shell crates (lint-boundary.toml)"
+        }
+        KERNEL_DEP_SHELL => {
+            "kernel crate lists a shell crate in [dependencies]; the kernel must not reach \
+             the shell through the build graph (dev-dependencies are exempt). Fix the edge \
+             or move the crate in lint-boundary.toml — there is no pragma escape"
+        }
+        HOT_PATH_ALLOC => {
+            "heap allocation in (or one call level below) a `// digg-lint: hot-path` \
+             function; the per-vote kernels must stay allocation-free"
+        }
+        UNORDERED_TAINT => {
+            "HashMap/HashSet iteration reachable from a serialization or artifact-write \
+             sink through the intra-crate call graph; sort the collected entries or reduce \
+             order-independently on the same line"
+        }
         UNUSED_ALLOW => "digg-lint allow pragma that suppressed no violation",
         MALFORMED_PRAGMA => "unparseable digg-lint pragma (unknown rule id or missing reason)",
         _ => "unknown rule",
@@ -89,6 +133,11 @@ pub struct Violation {
 #[derive(Debug, Clone, Copy)]
 pub struct Scope {
     pub kind: FileKind,
+    /// File belongs to a shell crate (`lint-boundary.toml`): the
+    /// harness/driver layer. Wall clock, ambient RNG, async, and CLI
+    /// panics are legal there; artifact-order and unsafe rules are
+    /// not.
+    pub shell: bool,
     /// File is allowlisted for wall-clock reads (the bench timing
     /// module).
     pub wallclock_exempt: bool,
@@ -120,22 +169,33 @@ pub fn check(map: &SourceMap, scope: Scope, raw_lines: &[&str]) -> Vec<Violation
             })
         };
 
-        if !scope.wallclock_exempt
+        if !scope.shell
+            && !scope.wallclock_exempt
             && (code.contains("Instant::now") || has_token(code, "SystemTime"))
         {
             push(NO_WALLCLOCK);
         }
 
-        if has_token(code, "thread_rng")
-            || has_token(code, "from_entropy")
-            || has_token(code, "from_os_rng")
-            || has_token(code, "OsRng")
-            || code.contains("rand::random")
+        if !scope.shell
+            && (has_token(code, "thread_rng")
+                || has_token(code, "from_entropy")
+                || has_token(code, "from_os_rng")
+                || has_token(code, "OsRng")
+                || code.contains("rand::random"))
         {
             push(NO_AMBIENT_RNG);
         }
 
-        if scope.kind == FileKind::Lib && !in_test {
+        if !scope.shell
+            && (has_token(code, "async")
+                || code.contains(".await")
+                || has_token(code, "tokio")
+                || has_token(code, "async_std"))
+        {
+            push(NO_ASYNC_KERNEL);
+        }
+
+        if scope.kind == FileKind::Lib && !in_test && !scope.shell {
             let panicky = code.contains(".unwrap()")
                 || code.contains(".unwrap_err()")
                 || code.contains(".expect(")
@@ -216,6 +276,7 @@ mod tests {
     fn lib_scope() -> Scope {
         Scope {
             kind: FileKind::Lib,
+            shell: false,
             wallclock_exempt: false,
             fanout_exempt: false,
             mmap_exempt: false,
@@ -336,5 +397,50 @@ mod tests {
             ..lib_scope()
         };
         assert!(check_src(src, exempt).is_empty());
+    }
+
+    #[test]
+    fn async_is_banned_in_kernel_but_legal_in_shell() {
+        let shell = Scope {
+            shell: true,
+            ..lib_scope()
+        };
+        for src in [
+            "pub async fn pump() {}",
+            "let x = fut.await;",
+            "tokio::spawn(task);",
+        ] {
+            let v = check_src(src, lib_scope());
+            assert!(v.iter().any(|v| v.rule == NO_ASYNC_KERNEL), "{src}: {v:?}");
+            assert!(
+                check_src(src, shell)
+                    .iter()
+                    .all(|v| v.rule != NO_ASYNC_KERNEL),
+                "{src} must be legal in a shell crate"
+            );
+        }
+        // Comments and identifiers with the substring do not fire.
+        assert!(check_src("// async is shell-only\nlet asynchrony = 1;", lib_scope()).is_empty());
+    }
+
+    #[test]
+    fn shell_scope_waives_harness_rules_but_keeps_order_and_unsafe() {
+        let shell = Scope {
+            shell: true,
+            ..lib_scope()
+        };
+        // Wall clock, ambient RNG, panics, casts: the shell owns them.
+        let harness = "fn main() { let t = Instant::now(); let r = rand::thread_rng(); let n = big as u32; x.unwrap(); }";
+        assert!(
+            check_src(harness, shell).is_empty(),
+            "{:?}",
+            check_src(harness, shell)
+        );
+        assert_eq!(check_src(harness, lib_scope()).len(), 4);
+        // Artifact order, fan-out, and unsafe stay policed.
+        let ordered = "#[derive(Serialize)]\nstruct S {\n    m: HashMap<u32, u32>,\n}";
+        assert_eq!(check_src(ordered, shell).len(), 1);
+        assert_eq!(check_src("std::thread::spawn(f);", shell).len(), 1);
+        assert_eq!(check_src("unsafe { f() }", shell).len(), 1);
     }
 }

@@ -1,0 +1,795 @@
+//! Lightweight item parser: from a lexed [`SourceMap`] to the file's
+//! symbols — functions (with owner impl, body range, callee names and
+//! body tokens), named-field structs, impl blocks, and modules.
+//!
+//! This is deliberately *not* a Rust parser (the crate stays
+//! dependency-free; no `syn`). It is a brace-depth scan over blanked
+//! code that recovers exactly the structure the workspace analyses
+//! need: which fields a type has, which function bodies mention which
+//! identifiers, and who calls whom inside a crate. Generic parameter
+//! lists are stripped from item *headers* only ([`strip_generics`]);
+//! brace tracking always runs on the raw blanked line, where `<`/`>`
+//! are harmless.
+//!
+//! The `// digg-lint: hot-path` marker is parsed here too: standing
+//! immediately above a `fn` (doc comments and attributes may
+//! intervene) it marks that function, before the first item of the
+//! file it marks the whole module. A marker that binds to neither is
+//! reported by the caller as a malformed pragma, so markers cannot
+//! silently rot.
+
+use crate::lexer::SourceMap;
+
+/// A function definition (or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 0-based inclusive body line range (`{` line through `}` line);
+    /// `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Type name of the enclosing `impl` block, if any.
+    pub owner: Option<String>,
+    /// Trait the enclosing `impl` block implements, if any.
+    pub trait_name: Option<String>,
+    /// Marked `// digg-lint: hot-path` (directly or via a file-level
+    /// marker).
+    pub hot_path: bool,
+    /// The function's signature line is inside a `#[cfg(test)]`
+    /// region.
+    pub in_test: bool,
+    /// Identifier tokens that appear immediately before a `(` in the
+    /// body — the callee-name overapproximation the call graph uses.
+    pub calls: Vec<String>,
+    /// All identifier tokens appearing in the body, deduplicated.
+    pub body_tokens: Vec<String>,
+}
+
+impl FnSym {
+    /// Does the body mention `ident` as a token?
+    pub fn mentions(&self, ident: &str) -> bool {
+        self.body_tokens.iter().any(|t| t == ident)
+    }
+}
+
+/// One named field of a struct.
+#[derive(Debug, Clone)]
+pub struct FieldSym {
+    pub name: String,
+    /// 0-based declaration line.
+    pub line: usize,
+    /// Declared type mentions `HashMap` or `HashSet`.
+    pub is_hash: bool,
+}
+
+/// A struct with named fields (tuple/unit structs and enums carry no
+/// named fields and are not recorded).
+#[derive(Debug, Clone)]
+pub struct StructSym {
+    pub name: String,
+    /// 0-based line of the `struct` keyword.
+    pub line: usize,
+    pub fields: Vec<FieldSym>,
+    /// Declared inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// An `impl` block header.
+#[derive(Debug, Clone)]
+pub struct ImplSym {
+    /// Trait being implemented (last path segment), `None` for
+    /// inherent impls.
+    pub trait_name: Option<String>,
+    /// Target type name (last path segment, generics stripped).
+    pub type_name: String,
+    /// 0-based line of the `impl` keyword.
+    pub line: usize,
+}
+
+/// A `mod name { … }` or `mod name;` item.
+#[derive(Debug, Clone)]
+pub struct ModSym {
+    pub name: String,
+    pub line: usize,
+}
+
+/// A local `let` binding of a `HashMap`/`HashSet` inside a function
+/// body — the taint analysis seeds from these and from hash-typed
+/// struct fields.
+#[derive(Debug, Clone)]
+pub struct LocalHash {
+    /// Variable name.
+    pub name: String,
+    /// 0-based line of the binding.
+    pub line: usize,
+    /// Index into [`FileSymbols::fns`] of the enclosing function.
+    pub fn_idx: usize,
+}
+
+/// Everything the analyses need from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileSymbols {
+    pub fns: Vec<FnSym>,
+    pub structs: Vec<StructSym>,
+    pub impls: Vec<ImplSym>,
+    pub mods: Vec<ModSym>,
+    pub local_hashes: Vec<LocalHash>,
+    /// File carries a module-level `// digg-lint: hot-path` marker.
+    pub file_hot_path: bool,
+    /// 0-based lines of `hot-path` markers that bound to nothing.
+    pub dangling_hot_path: Vec<usize>,
+}
+
+impl FileSymbols {
+    /// Indices of the functions inside the impl blocks for `type_name`
+    /// implementing `trait_name`.
+    pub fn impl_fns(&self, type_name: &str, trait_name: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.owner.as_deref() == Some(type_name) && f.trait_name.as_deref() == Some(trait_name)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Strip balanced `<…>` generic argument lists from an item *header*
+/// line. Only safe on headers (impl/struct/fn signatures), where `<`
+/// cannot be a comparison; `->`/`=>` arrows are preserved.
+pub fn strip_generics(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut depth = 0u32;
+    let mut prev = ' ';
+    for c in line.chars() {
+        match c {
+            '<' if prev != '-' && prev != '=' && prev != '<' => depth += 1,
+            '>' if depth > 0 && prev != '-' && prev != '=' => depth -= 1,
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+        prev = c;
+    }
+    out
+}
+
+/// Split a line into identifier tokens (alphanumerics + `_`).
+fn idents(line: &str) -> Vec<&str> {
+    line.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+#[derive(Debug)]
+enum Ctx {
+    Impl {
+        type_name: String,
+        trait_name: Option<String>,
+        floor: i64,
+    },
+    Struct {
+        idx: usize,
+        floor: i64,
+    },
+    Fn {
+        idx: usize,
+        floor: i64,
+    },
+    Other {
+        floor: i64,
+    },
+}
+
+impl Ctx {
+    fn floor(&self) -> i64 {
+        match self {
+            Ctx::Impl { floor, .. }
+            | Ctx::Struct { floor, .. }
+            | Ctx::Fn { floor, .. }
+            | Ctx::Other { floor } => *floor,
+        }
+    }
+}
+
+/// A multi-line item header being accumulated until its `{` or `;`.
+#[derive(Debug)]
+enum Pending {
+    Fn { sig_line: usize },
+    Struct { header: String, sig_line: usize },
+    Impl { header: String, sig_line: usize },
+}
+
+/// Parse a lexed file into its symbols.
+pub fn parse(map: &SourceMap) -> FileSymbols {
+    let mut out = FileSymbols::default();
+    let mut depth: i64 = 0;
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    // (marker_line, consumed)
+    let mut markers: Vec<(usize, bool)> = map
+        .comments
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.trim() == "digg-lint: hot-path")
+        .map(|(ln, _)| (ln, false))
+        .collect();
+    let mut first_item_line: Option<usize> = None;
+
+    for (ln, code) in map.code.iter().enumerate() {
+        let in_fn_body = matches!(stack.last(), Some(Ctx::Fn { .. }));
+        let in_struct_body = matches!(stack.last(), Some(Ctx::Struct { .. }));
+        let toks = idents(code);
+
+        // Resolve a pending multi-line header against this line.
+        if let Some(p) = pending.take() {
+            let opens = code.contains('{');
+            let ends = code.contains(';') && !opens;
+            match p {
+                Pending::Fn { sig_line } => {
+                    if opens {
+                        open_fn(&mut out, &mut stack, map, sig_line, ln, depth, &mut markers);
+                    } else if !ends {
+                        pending = Some(Pending::Fn { sig_line });
+                    }
+                }
+                Pending::Struct { header, sig_line } => {
+                    let header = format!("{header} {code}");
+                    if opens && !header.contains('(') {
+                        open_struct(&mut out, &mut stack, map, &header, sig_line, depth);
+                    } else if !ends && !header.contains('(') && !header.contains(';') {
+                        pending = Some(Pending::Struct { header, sig_line });
+                    }
+                }
+                Pending::Impl { header, sig_line } => {
+                    let header = format!("{header} {code}");
+                    if opens {
+                        open_impl(&mut stack, &mut out, &header, sig_line, depth);
+                    } else if !ends {
+                        pending = Some(Pending::Impl { header, sig_line });
+                    }
+                }
+            }
+        } else if !in_fn_body && !in_struct_body {
+            // New item?
+            if let Some(fpos) = toks.iter().position(|t| *t == "fn") {
+                // `type F = fn(..)` aliases and `impl Fn(..)` bounds
+                // are not function items.
+                let is_alias = toks[..fpos].contains(&"type");
+                if toks.len() > fpos + 1 && !is_alias {
+                    first_item_line.get_or_insert(ln);
+                    if code.contains('{') {
+                        open_fn(&mut out, &mut stack, map, ln, ln, depth, &mut markers);
+                    } else if !code.contains(';') {
+                        pending = Some(Pending::Fn { sig_line: ln });
+                    } else {
+                        // Bodyless trait declaration: record without body.
+                        record_fn(&mut out, &stack, map, ln, None, &mut markers);
+                    }
+                }
+            } else if toks.first() == Some(&"impl")
+                || (toks.first() == Some(&"unsafe") && toks.get(1) == Some(&"impl"))
+            {
+                first_item_line.get_or_insert(ln);
+                if code.contains('{') {
+                    open_impl(&mut stack, &mut out, code, ln, depth);
+                } else {
+                    pending = Some(Pending::Impl {
+                        header: code.clone(),
+                        sig_line: ln,
+                    });
+                }
+            } else if let Some(spos) = toks.iter().position(|t| *t == "struct") {
+                // `struct` token in a header position (not `impl X for
+                // struct` — impossible — and not a field type).
+                let is_header = spos == 0
+                    || toks[..spos]
+                        .iter()
+                        .all(|t| ["pub", "crate", "super", "self"].contains(t));
+                if is_header && toks.len() > spos + 1 {
+                    first_item_line.get_or_insert(ln);
+                    if code.contains('{') && !code.contains('(') {
+                        open_struct(&mut out, &mut stack, map, code, ln, depth);
+                    } else if !code.contains(';') && !code.contains('(') {
+                        pending = Some(Pending::Struct {
+                            header: code.clone(),
+                            sig_line: ln,
+                        });
+                    }
+                }
+            } else if let Some(mpos) = toks.iter().position(|t| *t == "mod") {
+                let is_header = mpos == 0
+                    || toks[..mpos]
+                        .iter()
+                        .all(|t| ["pub", "crate", "super", "self"].contains(t));
+                if is_header && toks.len() > mpos + 1 {
+                    first_item_line.get_or_insert(ln);
+                    out.mods.push(ModSym {
+                        name: toks[mpos + 1].to_string(),
+                        line: ln,
+                    });
+                    if code.contains('{') {
+                        stack.push(Ctx::Other { floor: depth });
+                    }
+                }
+            } else if !toks.is_empty()
+                && first_item_line.is_none()
+                && toks.first() != Some(&"use")
+                && !code.trim_start().starts_with("#[")
+                && !code.trim_start().starts_with("#!")
+            {
+                // Any other leading code (consts, statics) also counts
+                // as the first item for file-level marker binding.
+                first_item_line = Some(ln);
+            } else if code.contains('{') && (toks.contains(&"trait") || toks.contains(&"enum")) {
+                // Trait and enum bodies open a context so the fns
+                // inside a trait are still recorded at the right level.
+                first_item_line.get_or_insert(ln);
+                stack.push(Ctx::Other { floor: depth });
+            }
+        }
+
+        // Body/field collection for the innermost context.
+        match stack.last() {
+            Some(Ctx::Fn { idx, .. }) => {
+                let idx = *idx;
+                collect_body_line(&mut out, idx, ln, code);
+            }
+            Some(Ctx::Struct { idx, floor })
+                if depth == *floor + 1 || (depth == *floor && code.contains('{')) =>
+            {
+                collect_field_line(&mut out, *idx, ln, code);
+            }
+            _ => {}
+        }
+
+        // Brace accounting + context closing.
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    while stack.last().is_some_and(|t| t.floor() == depth) {
+                        if let Some(Ctx::Fn { idx, .. }) = stack.last() {
+                            if let Some((start, _)) = out.fns[*idx].body {
+                                out.fns[*idx].body = Some((start, ln));
+                            }
+                        }
+                        stack.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let before_first_item = |ln: usize| first_item_line.map(|f| ln < f).unwrap_or(true);
+    out.file_hot_path = markers
+        .iter()
+        .any(|&(ln, used)| !used && before_first_item(ln));
+    out.dangling_hot_path = markers
+        .iter()
+        .filter(|&&(ln, used)| !used && !before_first_item(ln))
+        .map(|&(ln, _)| ln)
+        .collect();
+    if out.file_hot_path {
+        for f in &mut out.fns {
+            f.hot_path = true;
+        }
+    }
+    out
+}
+
+/// Does a marker sit immediately above `sig_line` (only attribute,
+/// doc-comment, or comment lines between — a blank line breaks the
+/// binding, leaving the marker to the file level)? Consumes it if so.
+fn marker_above(map: &SourceMap, sig_line: usize, markers: &mut [(usize, bool)]) -> bool {
+    'outer: for (mln, used) in markers.iter_mut() {
+        if *used || *mln >= sig_line {
+            continue;
+        }
+        for between in (*mln + 1)..sig_line {
+            let code = map.code[between].trim();
+            let is_attr = code.starts_with("#[") || code.starts_with("#!");
+            let is_comment =
+                code.is_empty() && !map.comments.get(between).is_some_and(|c| c.is_empty());
+            if !(is_attr || is_comment) {
+                continue 'outer;
+            }
+        }
+        *used = true;
+        return true;
+    }
+    false
+}
+
+fn enclosing_impl(stack: &[Ctx]) -> (Option<String>, Option<String>) {
+    for ctx in stack.iter().rev() {
+        if let Ctx::Impl {
+            type_name,
+            trait_name,
+            ..
+        } = ctx
+        {
+            return (Some(type_name.clone()), trait_name.clone());
+        }
+    }
+    (None, None)
+}
+
+fn record_fn(
+    out: &mut FileSymbols,
+    stack: &[Ctx],
+    map: &SourceMap,
+    sig_line: usize,
+    body: Option<(usize, usize)>,
+    markers: &mut [(usize, bool)],
+) -> usize {
+    let stripped = strip_generics(&map.code[sig_line]);
+    let toks = idents(&stripped);
+    let name = toks
+        .iter()
+        .position(|t| *t == "fn")
+        .and_then(|p| toks.get(p + 1))
+        .map(|t| t.to_string())
+        .unwrap_or_default();
+    let (owner, trait_name) = enclosing_impl(stack);
+    let hot = marker_above(map, sig_line, markers);
+    out.fns.push(FnSym {
+        name,
+        sig_line,
+        body,
+        owner,
+        trait_name,
+        hot_path: hot,
+        in_test: map.in_test.get(sig_line).copied().unwrap_or(false),
+        calls: Vec::new(),
+        body_tokens: Vec::new(),
+    });
+    let idx = out.fns.len() - 1;
+    seed_param_hashes(out, idx, sig_line, &map.code[sig_line]);
+    idx
+}
+
+/// Record hash-typed parameters (`m: &HashMap<..>`) of a signature
+/// line as local hash bindings, so the taint analysis can seed from
+/// them like it does from `let` bindings and struct fields.
+fn seed_param_hashes(out: &mut FileSymbols, fn_idx: usize, line: usize, sig_code: &str) {
+    for frag in sig_code.split([',', '(']) {
+        let Some((name_part, ty)) = frag.split_once(':') else {
+            continue;
+        };
+        if !(crate::lexer::has_token(ty, "HashMap") || crate::lexer::has_token(ty, "HashSet")) {
+            continue;
+        }
+        let name = name_part.trim().trim_start_matches("mut ").trim();
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_alphanumeric() || c == '_')
+            || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            continue;
+        }
+        out.local_hashes.push(LocalHash {
+            name: name.to_string(),
+            line,
+            fn_idx,
+        });
+    }
+}
+
+fn open_fn(
+    out: &mut FileSymbols,
+    stack: &mut Vec<Ctx>,
+    map: &SourceMap,
+    sig_line: usize,
+    body_start: usize,
+    depth: i64,
+    markers: &mut [(usize, bool)],
+) {
+    let idx = record_fn(
+        out,
+        stack,
+        map,
+        sig_line,
+        Some((body_start, body_start)),
+        markers,
+    );
+    stack.push(Ctx::Fn { idx, floor: depth });
+}
+
+fn open_struct(
+    out: &mut FileSymbols,
+    stack: &mut Vec<Ctx>,
+    map: &SourceMap,
+    header: &str,
+    sig_line: usize,
+    depth: i64,
+) {
+    let stripped = strip_generics(header);
+    let toks = idents(&stripped);
+    let Some(pos) = toks.iter().position(|t| *t == "struct") else {
+        return;
+    };
+    let Some(name) = toks.get(pos + 1) else {
+        return;
+    };
+    out.structs.push(StructSym {
+        name: name.to_string(),
+        line: sig_line,
+        fields: Vec::new(),
+        in_test: map.in_test.get(sig_line).copied().unwrap_or(false),
+    });
+    let idx = out.structs.len() - 1;
+    stack.push(Ctx::Struct { idx, floor: depth });
+}
+
+fn open_impl(
+    stack: &mut Vec<Ctx>,
+    out: &mut FileSymbols,
+    header: &str,
+    sig_line: usize,
+    depth: i64,
+) {
+    let stripped = strip_generics(header);
+    let toks = idents(&stripped);
+    let (type_name, trait_name) = match toks.iter().position(|t| *t == "for") {
+        Some(fpos) if fpos > 0 && toks.len() > fpos + 1 => {
+            (toks[fpos + 1].to_string(), Some(toks[fpos - 1].to_string()))
+        }
+        _ => {
+            let Some(ipos) = toks.iter().position(|t| *t == "impl") else {
+                return;
+            };
+            let mut i = ipos + 1;
+            // Skip `dyn` in `impl dyn Trait`.
+            if toks.get(i) == Some(&"dyn") {
+                i += 1;
+            }
+            match toks.get(i) {
+                Some(t) => (t.to_string(), None),
+                None => return,
+            }
+        }
+    };
+    out.impls.push(ImplSym {
+        trait_name: trait_name.clone(),
+        type_name: type_name.clone(),
+        line: sig_line,
+    });
+    stack.push(Ctx::Impl {
+        type_name,
+        trait_name,
+        floor: depth,
+    });
+}
+
+/// Accumulate one body line of `fns[idx]`: tokens, callee names, and
+/// local hash bindings.
+fn collect_body_line(out: &mut FileSymbols, idx: usize, ln: usize, code: &str) {
+    for t in idents(code) {
+        if !out.fns[idx].body_tokens.iter().any(|x| x == t) {
+            out.fns[idx].body_tokens.push(t.to_string());
+        }
+    }
+    // Callee names: identifier immediately followed by `(`.
+    let bytes: Vec<char> = code.chars().collect();
+    let mut start = None;
+    for (i, &c) in bytes.iter().enumerate() {
+        if c.is_alphanumeric() || c == '_' {
+            start.get_or_insert(i);
+        } else {
+            if c == '(' {
+                if let Some(s) = start {
+                    let name: String = bytes[s..i].iter().collect();
+                    if !name.chars().next().is_some_and(|c| c.is_ascii_digit())
+                        && !out.fns[idx].calls.contains(&name)
+                    {
+                        out.fns[idx].calls.push(name);
+                    }
+                }
+            }
+            start = None;
+        }
+    }
+    // Local hash bindings: `let [mut] name … HashMap::new()` etc.
+    let toks = idents(code);
+    let is_hash_ctor = ["HashMap", "HashSet"].iter().any(|h| {
+        code.contains(&format!("{h}::new")) || code.contains(&format!("{h}::with_capacity"))
+    }) || (code.contains("HashMap<") || code.contains("HashSet<"));
+    if is_hash_ctor {
+        if let Some(lpos) = toks.iter().position(|t| *t == "let") {
+            let mut n = lpos + 1;
+            if toks.get(n) == Some(&"mut") {
+                n += 1;
+            }
+            if let Some(name) = toks.get(n) {
+                if !["HashMap", "HashSet"].contains(name) {
+                    out.local_hashes.push(LocalHash {
+                        name: name.to_string(),
+                        line: ln,
+                        fn_idx: idx,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Accumulate one field line of `structs[idx]`.
+fn collect_field_line(out: &mut FileSymbols, idx: usize, ln: usize, code: &str) {
+    let trimmed = code.trim_start();
+    if trimmed.starts_with("#[") || trimmed.starts_with('}') {
+        return;
+    }
+    // Strip visibility: `pub`, `pub(crate)`, `pub(in …)`.
+    let mut rest = trimmed;
+    if let Some(r) = rest.strip_prefix("pub") {
+        rest = match r.trim_start().strip_prefix('(') {
+            Some(after) => match after.find(')') {
+                Some(close) => &after[close + 1..],
+                None => return,
+            },
+            None => r,
+        };
+    }
+    let rest = rest.trim_start();
+    // A field is `ident:` (not `ident::`) before any `(` or `{`.
+    let Some(colon) = rest.find(':') else {
+        return;
+    };
+    if rest[colon..].starts_with("::") {
+        return;
+    }
+    let name = rest[..colon].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return;
+    }
+    if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return;
+    }
+    // Skip things that merely look like fields inside struct bodies
+    // (`where` bounds never reach here: fields sit one level deeper).
+    if ["fn", "const", "static", "type", "struct", "enum", "impl"].contains(&name) {
+        return;
+    }
+    let ty = &rest[colon + 1..];
+    let is_hash = crate::lexer::has_token(ty, "HashMap") || crate::lexer::has_token(ty, "HashSet");
+    out.structs[idx].fields.push(FieldSym {
+        name: name.to_string(),
+        line: ln,
+        is_hash,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileSymbols {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn strip_generics_keeps_arrows() {
+        assert_eq!(
+            strip_generics("impl<T: Codec> Snapshot for Q<T> {"),
+            "impl Snapshot for Q {"
+        );
+        assert_eq!(
+            strip_generics("fn f<T>(x: T) -> u64 {"),
+            "fn f(x: T) -> u64 {"
+        );
+        assert_eq!(
+            strip_generics("fn g(h: impl Fn(u32) -> Vec<u8>) {"),
+            "fn g(h: impl Fn(u32) -> Vec) {"
+        );
+    }
+
+    #[test]
+    fn parses_struct_fields_and_hash_flag() {
+        let s = parse_src(
+            "pub struct Sim {\n    cfg: Config,\n    #[serde(skip)]\n    pub scheduled: HashSet<(u32, u32)>,\n    pub(crate) tau: f64,\n}\n",
+        );
+        assert_eq!(s.structs.len(), 1);
+        let f: Vec<_> = s.structs[0]
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_hash))
+            .collect();
+        assert_eq!(f, vec![("cfg", false), ("scheduled", true), ("tau", false)]);
+    }
+
+    #[test]
+    fn tuple_structs_and_enums_are_skipped() {
+        let s = parse_src("pub struct Id(u32);\npub enum E {\n    A { x: u32 },\n}\n");
+        assert!(s.structs.is_empty());
+    }
+
+    #[test]
+    fn parses_impl_fns_with_owner_and_trait() {
+        let s = parse_src(
+            "impl Snapshot for Sim {\n    fn snapshot(&self) -> Vec<u8> {\n        self.encode()\n    }\n}\nimpl Sim {\n    fn tick(&mut self) {\n        self.step(1);\n    }\n}\n",
+        );
+        assert_eq!(s.impls.len(), 2);
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "snapshot");
+        assert_eq!(s.fns[0].owner.as_deref(), Some("Sim"));
+        assert_eq!(s.fns[0].trait_name.as_deref(), Some("Snapshot"));
+        assert!(s.fns[0].mentions("encode"));
+        assert_eq!(s.fns[1].trait_name, None);
+        assert!(s.fns[1].calls.iter().any(|c| c == "step"));
+    }
+
+    #[test]
+    fn multiline_signatures_and_where_clauses() {
+        let s = parse_src(
+            "fn f<T>(\n    x: T,\n) -> u64\nwhere\n    T: Into<u64>,\n{\n    x.into()\n}\n",
+        );
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "f");
+        assert_eq!(s.fns[0].body, Some((5, 7)));
+        assert!(s.fns[0].mentions("into"));
+    }
+
+    #[test]
+    fn multiline_impl_header() {
+        let s = parse_src("impl<T: Codec> Snapshot\n    for EventQueue<T>\n{\n}\n");
+        assert_eq!(s.impls.len(), 1);
+        assert_eq!(s.impls[0].type_name, "EventQueue");
+        assert_eq!(s.impls[0].trait_name.as_deref(), Some("Snapshot"));
+    }
+
+    #[test]
+    fn hot_path_marker_binds_to_next_fn() {
+        let s = parse_src(
+            "fn cold() {}\n// digg-lint: hot-path\n#[inline]\npub fn hot(x: u32) -> u32 {\n    x\n}\n",
+        );
+        assert!(!s.fns[0].hot_path);
+        assert!(s.fns[1].hot_path);
+        assert!(!s.file_hot_path);
+        assert!(s.dangling_hot_path.is_empty());
+    }
+
+    #[test]
+    fn file_level_hot_path_marker() {
+        let s = parse_src("// digg-lint: hot-path\n\nuse std::x;\n\nfn a() {}\nfn b() {}\n");
+        assert!(s.file_hot_path);
+        assert!(s.fns.iter().all(|f| f.hot_path));
+    }
+
+    #[test]
+    fn dangling_marker_is_reported() {
+        let s = parse_src("fn a() {}\n// digg-lint: hot-path\nstruct S {\n    x: u32,\n}\n");
+        assert_eq!(s.dangling_hot_path, vec![1]);
+    }
+
+    #[test]
+    fn local_hash_bindings_are_recorded() {
+        let s = parse_src(
+            "fn f() {\n    let mut seen = HashSet::new();\n    let counts: HashMap<u32, u32> = HashMap::new();\n    seen.insert(1);\n}\n",
+        );
+        assert_eq!(s.local_hashes.len(), 2);
+        assert_eq!(s.local_hashes[0].name, "seen");
+        assert_eq!(s.local_hashes[1].name, "counts");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_recorded() {
+        let s = parse_src("pub trait T {\n    fn probe(&self) -> bool;\n    fn d(&self) -> u32 {\n        4\n    }\n}\n");
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].body, None);
+        assert!(s.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn test_region_fns_are_flagged() {
+        let s = parse_src(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        x();\n    }\n}\n",
+        );
+        assert_eq!(s.fns.len(), 1);
+        assert!(s.fns[0].in_test);
+        assert_eq!(s.mods.len(), 1);
+    }
+}

@@ -81,7 +81,15 @@ fn collect(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<(
     for name in entries {
         let child_rel = rel.join(&name);
         let child_abs = root.join(&child_rel);
-        if child_abs.is_dir() {
+        // Never follow symlinks: a link back up the tree would recurse
+        // forever, and a link out of the tree would lint files that are
+        // not part of the workspace. `symlink_metadata` stats the link
+        // itself where `is_dir` would stat the target.
+        let meta = std::fs::symlink_metadata(&child_abs)?;
+        if meta.file_type().is_symlink() {
+            continue;
+        }
+        if meta.is_dir() {
             collect(root, &child_rel, out)?;
         } else if child_rel.extension().is_some_and(|e| e == "rs") {
             out.push(child_rel);
@@ -126,5 +134,95 @@ mod tests {
         let here = Path::new(env!("CARGO_MANIFEST_DIR"));
         let root = workspace_root(here).expect("workspace root not found");
         assert!(root.join("crates/digg-lint").is_dir());
+    }
+
+    /// Scratch tree under the target dir, removed on drop. Named by
+    /// pid + case so concurrent test binaries cannot collide.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(case: &str) -> Scratch {
+            let dir =
+                std::env::temp_dir().join(format!("digg-lint-walk-{}-{case}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("mkdir");
+            Scratch(dir)
+        }
+
+        fn write(&self, rel: &str, text: &str) {
+            let p = self.0.join(rel);
+            std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+            std::fs::write(p, text).expect("write");
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn rels(dir: &Path) -> Vec<String> {
+        workspace_files(dir)
+            .expect("walk")
+            .into_iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect()
+    }
+
+    #[test]
+    fn visits_files_in_sorted_order() {
+        let s = Scratch::new("sorted");
+        s.write("src/zeta.rs", "");
+        s.write("src/alpha.rs", "");
+        s.write("crates/a/src/lib.rs", "");
+        s.write("notes.md", "");
+        assert_eq!(
+            rels(&s.0),
+            vec!["crates/a/src/lib.rs", "src/alpha.rs", "src/zeta.rs"]
+        );
+    }
+
+    #[test]
+    fn excludes_target_and_vendor_trees() {
+        let s = Scratch::new("excl");
+        s.write("src/lib.rs", "");
+        s.write("target/debug/build/gen.rs", "");
+        s.write("vendor/dep/src/lib.rs", "");
+        s.write("crates/digg-lint/tests/fixtures/x/bad.rs", "");
+        assert_eq!(rels(&s.0), vec!["src/lib.rs"]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlink_cycles_terminate_and_links_are_not_followed() {
+        let s = Scratch::new("cycle");
+        s.write("src/lib.rs", "");
+        s.write("outside.rs", "");
+        // A directory symlink pointing back at the root: following it
+        // would recurse forever.
+        std::os::unix::fs::symlink(&s.0, s.0.join("src/loop")).expect("symlink");
+        // A file symlink to an .rs file: linked sources are not
+        // workspace members.
+        std::os::unix::fs::symlink(s.0.join("outside.rs"), s.0.join("src/linked.rs"))
+            .expect("symlink");
+        assert_eq!(rels(&s.0), vec!["outside.rs", "src/lib.rs"]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_names_do_not_panic() {
+        use std::ffi::OsStr;
+        use std::os::unix::ffi::OsStrExt;
+        let s = Scratch::new("nonutf8");
+        s.write("src/lib.rs", "");
+        let weird_dir = s.0.join(OsStr::from_bytes(b"src/b\xc3dir\xff"));
+        std::fs::create_dir_all(&weird_dir).expect("mkdir");
+        std::fs::write(weird_dir.join("inner.rs"), "").expect("write");
+        std::fs::write(s.0.join(OsStr::from_bytes(b"src/we\xffird.rs")), "").expect("write");
+        let got = rels(&s.0);
+        assert!(got.contains(&"src/lib.rs".to_string()), "{got:?}");
+        // The mangled names are still walked (lossily) without panics.
+        assert_eq!(got.len(), 3, "{got:?}");
     }
 }

@@ -1,0 +1,19 @@
+//! Fixture: heap allocation on a marked hot path — directly, and one
+//! call level out (the callee's allocation is reported at the
+//! callee's line, where the fix or pragma belongs).
+
+// digg-lint: hot-path
+pub fn absorb(xs: &[u32], out: &mut Vec<u32>) {
+    for &x in xs {
+        out.push(x);
+    }
+}
+
+// digg-lint: hot-path
+pub fn tick(buf: &mut Vec<u32>) {
+    refill(buf);
+}
+
+fn refill(buf: &mut Vec<u32>) {
+    buf.extend([1, 2, 3]);
+}

@@ -1,0 +1,19 @@
+//! Fixture: hot paths that stay on the stack, cold setup code that
+//! allocates freely, and an amortized push carried by a pragma.
+
+// digg-lint: hot-path
+pub fn lookup(xs: &[u32], x: u32) -> bool {
+    xs.binary_search(&x).is_ok()
+}
+
+pub fn setup(n: usize) -> Vec<u32> {
+    let mut v = Vec::with_capacity(n);
+    v.extend(std::iter::repeat(0).take(n));
+    v
+}
+
+// digg-lint: hot-path
+pub fn record(log: &mut Vec<u32>, x: u32) {
+    // digg-lint: allow(hot-path-alloc) — amortized: capacity reserved by setup, one story never doubles it
+    log.push(x);
+}

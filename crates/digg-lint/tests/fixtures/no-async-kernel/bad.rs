@@ -1,0 +1,11 @@
+//! Fixture: async in a kernel crate. The replay kernel is
+//! synchronous by design — an executor's poll order is a scheduler
+//! decision the snapshot cannot capture.
+
+pub async fn fetch(id: u64) -> u64 {
+    worker(id).await
+}
+
+async fn worker(id: u64) -> u64 {
+    id * 2
+}

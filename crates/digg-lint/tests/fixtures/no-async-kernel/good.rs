@@ -1,0 +1,13 @@
+//! Fixture: synchronous kernel code. Identifiers and comments that
+//! merely mention asynchrony (or contain `await` as a substring of a
+//! larger word) are not violations.
+
+/// Batched, not async: callers drive this from the event loop.
+pub fn fetch(id: u64) -> u64 {
+    worker(id)
+}
+
+fn worker(id: u64) -> u64 {
+    let asynchronously_named = id;
+    asynchronously_named * 2
+}

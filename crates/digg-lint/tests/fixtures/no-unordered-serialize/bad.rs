@@ -18,7 +18,7 @@ pub struct Journal {
 
 impl digg_snapshot::Snapshot for Journal {
     fn snapshot(&self) -> Vec<u8> {
-        Vec::new()
+        Vec::with_capacity(self.seen.len())
     }
 }
 
@@ -30,6 +30,6 @@ pub struct Hybrid {
 
 impl digg_snapshot::Snapshot for Hybrid {
     fn snapshot(&self) -> Vec<u8> {
-        Vec::new()
+        Vec::with_capacity(self.scratch.len())
     }
 }

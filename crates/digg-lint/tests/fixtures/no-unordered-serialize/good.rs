@@ -27,6 +27,6 @@ pub struct Ledger {
 
 impl digg_snapshot::Snapshot for Ledger {
     fn snapshot(&self) -> Vec<u8> {
-        Vec::new()
+        Vec::with_capacity(self.rows.len() + self.index.len())
     }
 }

@@ -1,0 +1,14 @@
+//! Fixture: a Snapshot impl that forgets a field — the PR-7
+//! `voter_pos` bug class. `budget` is never written, so a
+//! restored cursor would silently come back with a default.
+
+pub struct Cursor {
+    pub pos: u64,
+    pub budget: u64,
+}
+
+impl Snapshot for Cursor {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_u64(self.pos);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: full field coverage on both sides, plus a derived field
+//! carried by a field-level pragma naming why it is rebuilt rather
+//! than serialized. Each side is checked independently: the Restore
+//! struct literal covering `page` would not excuse a missing
+//! snapshot write.
+
+pub struct Cursor {
+    pub pos: u64,
+    pub budget: u64,
+    // digg-lint: allow(snapshot-coverage) — derived: recomputed from pos on restore
+    pub page: u32,
+}
+
+impl Snapshot for Cursor {
+    fn snapshot(&self, w: &mut ByteWriter) {
+        w.put_u64(self.pos);
+        w.put_u64(self.budget);
+    }
+}
+
+impl Restore for Cursor {
+    fn restore(r: &mut ByteReader) -> Cursor {
+        let pos = r.u64();
+        let budget = r.u64();
+        let page = page_of(pos);
+        Cursor { pos, budget, page }
+    }
+}

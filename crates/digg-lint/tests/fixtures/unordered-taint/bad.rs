@@ -1,0 +1,21 @@
+//! Fixture: hash-iteration order flowing into written bytes through
+//! the call graph. `export` is a sink (it writes); `summarize` is
+//! reachable from it and iterates a HashMap in storage order, so the
+//! written rows differ run to run.
+
+use std::collections::HashMap;
+
+pub fn summarize(counts: &HashMap<u32, u64>) -> Vec<String> {
+    let mut rows = Vec::new();
+    for (k, v) in counts.iter() {
+        rows.push(format!("{k} {v}"));
+    }
+    rows
+}
+
+pub fn export(counts: &HashMap<u32, u64>, w: &mut impl std::io::Write) {
+    let rows = summarize(counts);
+    for r in rows {
+        let _ = w.write_all(r.as_bytes());
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: the deterministic ways to get hash data into bytes —
+//! sort before encoding, keep keyed lookups keyed, or use an ordered
+//! container from the start.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn summarize(counts: &HashMap<u32, u64>) -> Vec<String> {
+    let mut rows: Vec<(u32, u64)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
+    rows.sort_unstable();
+    rows.into_iter().map(|(k, v)| format!("{k} {v}")).collect()
+}
+
+pub fn lookup(counts: &HashMap<u32, u64>, key: u32) -> u64 {
+    counts.get(&key).copied().unwrap_or(0)
+}
+
+pub fn ordered(counts: &BTreeMap<u32, u64>) -> Vec<String> {
+    counts.iter().map(|(k, v)| format!("{k} {v}")).collect()
+}
+
+pub fn export(counts: &HashMap<u32, u64>, w: &mut impl std::io::Write) {
+    for r in summarize(counts) {
+        let _ = w.write_all(r.as_bytes());
+    }
+    let _ = lookup(counts, 0);
+}

@@ -1,0 +1,96 @@
+//! Lexer edge cases: the token forms most likely to desynchronize a
+//! hand-rolled scanner — raw strings whose bodies contain
+//! almost-terminators, byte and raw-byte strings, and the lifetime
+//! tick vs char literal ambiguity. Each case asserts both sides: the
+//! literal body is blanked (a `panic!` inside a string must not fire
+//! a rule) and the scanner resynchronizes (real code after the
+//! literal is still seen).
+
+use digg_lint::lexer::{has_token, lex};
+
+#[test]
+fn raw_string_body_with_hash_quote_inside() {
+    // `"#` inside an `r##` string is not a terminator.
+    let m = lex(r####"let s = r##"contains "# a fake end"##; x.unwrap();"####);
+    assert!(!m.code[0].contains("fake"), "{}", m.code[0]);
+    assert!(m.code[0].contains(".unwrap()"), "{}", m.code[0]);
+}
+
+#[test]
+fn raw_string_with_more_hashes_than_needed_inside() {
+    // The body holds `"###` but the string only opened with one hash:
+    // the first `"#` closes it, the trailing hashes are code.
+    let m = lex("let s = r#\"end\"### + tail\"#;");
+    assert!(!m.code[0].contains("end"), "{}", m.code[0]);
+    assert!(m.code[0].contains("## + tail"), "{}", m.code[0]);
+}
+
+#[test]
+fn byte_string_with_escaped_quote() {
+    let m = lex(r#"let b = b"bytes \" panic!(x)"; call();"#);
+    assert!(!m.code[0].contains("panic!"), "{}", m.code[0]);
+    assert!(m.code[0].contains("call();"), "{}", m.code[0]);
+}
+
+#[test]
+fn raw_byte_string_with_hashes() {
+    let m = lex(r###"let rb = br#"raw "quoted" panic!"#; after();"###);
+    assert!(!m.code[0].contains("panic!"), "{}", m.code[0]);
+    assert!(m.code[0].contains("after();"), "{}", m.code[0]);
+}
+
+#[test]
+fn slashes_inside_strings_do_not_open_comments() {
+    let m = lex("let u = r\"no // comment\"; trailing();\nlet v = \"also // not\"; tail();");
+    assert!(m.code[0].contains("trailing();"), "{}", m.code[0]);
+    assert!(m.code[1].contains("tail();"), "{}", m.code[1]);
+    assert!(m.comments[0].is_empty(), "{:?}", m.comments[0]);
+    assert!(m.comments[1].is_empty(), "{:?}", m.comments[1]);
+}
+
+#[test]
+fn lifetimes_survive_char_literals_blank() {
+    let m = lex("fn f<'a, 'b: 'a>(x: &'a str, y: &'b str) -> &'a str { let c = 'q'; x }");
+    // Lifetimes are code; the char literal body is blanked.
+    assert!(m.code[0].contains("'a, 'b: 'a"), "{}", m.code[0]);
+    assert!(!m.code[0].contains('q'), "{}", m.code[0]);
+}
+
+#[test]
+fn escaped_and_delimiter_char_literals() {
+    let m = lex(r"let a = '\''; let b = '\\'; let c = '{'; let d = '}'; done();");
+    assert!(m.code[0].contains("done();"), "{}", m.code[0]);
+    // Brace chars must be blanked or rule brace-tracking desyncs.
+    assert!(!m.code[0].contains('{'), "{}", m.code[0]);
+    assert!(!m.code[0].contains('}'), "{}", m.code[0]);
+}
+
+#[test]
+fn byte_char_literal() {
+    let m = lex("let n = b'\\n'; let q = b'Q'; next();");
+    assert!(m.code[0].contains("next();"), "{}", m.code[0]);
+    assert!(!m.code[0].contains('Q'), "{}", m.code[0]);
+}
+
+#[test]
+fn static_lifetime_is_not_a_char_literal() {
+    let m = lex("fn s() -> &'static str { \"panic!(no)\" }");
+    assert!(m.code[0].contains("'static str"), "{}", m.code[0]);
+    assert!(!m.code[0].contains("panic!"), "{}", m.code[0]);
+}
+
+#[test]
+fn multiline_raw_string_blanks_every_line() {
+    let src = "let s = r#\"line one panic!\nline two Instant::now()\nend\"#;\nreal_code();";
+    let m = lex(src);
+    assert!(!has_token(&m.code[0], "panic"), "{}", m.code[0]);
+    assert!(!m.code[1].contains("Instant"), "{}", m.code[1]);
+    assert_eq!(m.code[3], "real_code();");
+}
+
+#[test]
+fn adjacent_raw_strings_resync_between_literals() {
+    let m = lex("f(r#\"a\"#, x.unwrap(), r\"b\", y.unwrap());");
+    let unwraps = m.code[0].matches(".unwrap()").count();
+    assert_eq!(unwraps, 2, "{}", m.code[0]);
+}

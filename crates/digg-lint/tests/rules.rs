@@ -67,6 +67,51 @@ rule_fixture!(
     "no-unchecked-mmap",
     "no-unchecked-mmap"
 );
+rule_fixture!(
+    snapshot_coverage_fixture,
+    "snapshot-coverage",
+    "snapshot-coverage"
+);
+rule_fixture!(hot_path_alloc_fixture, "hot-path-alloc", "hot-path-alloc");
+rule_fixture!(
+    unordered_taint_fixture,
+    "unordered-taint",
+    "unordered-taint"
+);
+rule_fixture!(
+    no_async_kernel_fixture,
+    "no-async-kernel",
+    "no-async-kernel"
+);
+
+#[test]
+fn hot_path_callee_alloc_reports_at_callee_line() {
+    // The `tick` -> `refill` chain in the bad fixture must anchor the
+    // violation at `refill`'s .extend( line, where the fix belongs.
+    let bad = include_str!("fixtures/hot-path-alloc/bad.rs");
+    let lines: Vec<usize> = lint_lib(bad)
+        .into_iter()
+        .filter(|(r, _)| r == "hot-path-alloc")
+        .map(|(_, l)| l)
+        .collect();
+    let extend_line = bad
+        .lines()
+        .position(|l| l.contains(".extend("))
+        .expect("fixture has .extend(")
+        + 1;
+    assert!(lines.contains(&extend_line), "{lines:?} vs {extend_line}");
+}
+
+#[test]
+fn async_is_waived_in_shell_crates() {
+    let bad = include_str!("fixtures/no-async-kernel/bad.rs");
+    let config = Config {
+        shell_paths: vec!["crates/fixture/".to_string()],
+        ..Config::default()
+    };
+    let report = lint_source("crates/fixture/src/lib.rs", bad, &config);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
 
 #[test]
 fn bad_fixtures_flag_every_expected_line() {

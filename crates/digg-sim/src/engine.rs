@@ -157,6 +157,7 @@ pub struct Sim {
     /// before encoding.
     // digg-lint: allow(no-unordered-serialize) — snapshot encodes the pairs as a sorted Vec, never in set-iteration order
     scheduled: HashSet<(UserId, StoryId)>,
+    // digg-lint: allow(snapshot-coverage) — trait object; restore re-installs the promoter from the caller's config
     promoter: Box<dyn Promoter>,
     /// Per-story incremental promoter state, indexed like `stories`.
     /// Lets each promotion re-check fold only the votes it has not
@@ -164,9 +165,12 @@ pub struct Sim {
     /// engine-vs-baseline equivalence tests hold the two against each
     /// other.
     promo_states: Vec<PromoterState>,
+    // digg-lint: allow(snapshot-coverage) — derived from the population's activity weights, rebuilt on restore
     browse_table: AliasTable,
+    // digg-lint: allow(snapshot-coverage) — derived from the population's activity weights, rebuilt on restore
     submit_table: AliasTable,
     metrics: SimMetrics,
+    // digg-lint: allow(snapshot-coverage) — distribution parameters, reconstructed from SimConfig on restore
     niche_quality: LogNormal,
     /// Compat: the tick loop's single RNG.
     rng: StdRng,
@@ -188,6 +192,7 @@ pub struct Sim {
     /// Events fired by *this instance* since construction or restore.
     /// Diagnostics only (checkpoint-overhead rates); deliberately not
     /// serialized — a restored sim starts its own count at zero.
+    // digg-lint: allow(snapshot-coverage) — diagnostics counter, deliberately restarts at zero after restore
     events_fired: u64,
 }
 

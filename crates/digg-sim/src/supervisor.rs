@@ -1017,7 +1017,6 @@ impl Worker {
             .take()
             .ok_or_else(|| SweepError::Protocol("worker stdout not piped".into()))?;
         let (tx, frames) = mpsc::channel();
-        // digg-lint: allow(raw-thread-fanout) — not compute fan-out: a blocking-I/O pump feeding the watchdog channel; results are still reassembled in grid order by the shard driver
         let reader = std::thread::Builder::new()
             .name("sweep-worker-reader".into())
             .spawn(move || loop {
@@ -1059,7 +1058,6 @@ impl Worker {
         if write_frame(&mut self.stdin, req).is_err() {
             return Err(FailureKind::Crashed);
         }
-        // digg-lint: allow(no-wallclock) — watchdog deadline anchor: gates only which recovery attempt finishes the cell, never the cell's result (DESIGN.md §17)
         let started = std::time::Instant::now();
         loop {
             let elapsed = started.elapsed();

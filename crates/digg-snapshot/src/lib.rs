@@ -416,7 +416,13 @@ pub fn write_atomic(path: &std::path::Path, data: &[u8]) -> std::io::Result<()> 
     let write = std::fs::File::create(&tmp).and_then(|mut f| {
         f.write_all(data)?;
         // Durability boundary: the rename below must never publish a
-        // name whose bytes are still in flight.
+        // name whose bytes are still in flight. Miri has no stable
+        // storage to sync (and no fsync shim), so the barrier is
+        // meaningless there; the write/rename semantics it checks are
+        // unchanged.
+        if cfg!(miri) {
+            return Ok(());
+        }
         f.sync_all()
     });
     let renamed = write.and_then(|()| std::fs::rename(&tmp, path));
@@ -427,7 +433,9 @@ pub fn write_atomic(path: &std::path::Path, data: &[u8]) -> std::io::Result<()> 
     // Best-effort: persist the directory entry too. Some filesystems
     // order the rename behind the data sync anyway; failure here is
     // not a correctness problem for readers, only a smaller durability
-    // window, so it is deliberately not surfaced.
+    // window, so it is deliberately not surfaced. Skipped under Miri,
+    // which cannot open a directory as a file.
+    #[cfg(not(miri))]
     if let Some(parent) = path.parent() {
         if let Ok(dir) = std::fs::File::open(parent) {
             let _ = dir.sync_all();

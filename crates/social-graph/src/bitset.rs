@@ -124,6 +124,7 @@ impl FanBitset {
     /// # Panics
     ///
     /// Panics if `u` is outside the bitset's capacity.
+    // digg-lint: hot-path
     #[inline]
     pub fn insert(&mut self, u: UserId) -> bool {
         let i = u.index();
@@ -147,6 +148,7 @@ impl FanBitset {
     }
 
     /// Is `u` in the set? Out-of-capacity ids are simply absent.
+    // digg-lint: hot-path
     #[inline]
     pub fn contains(&self, u: UserId) -> bool {
         let i = u.index();

@@ -21,6 +21,8 @@
 //! [`SocialGraph::is_fan_of_any`]: crate::SocialGraph::is_fan_of_any
 //! [`SocialGraph::is_fan_of_any_with`]: crate::SocialGraph::is_fan_of_any_with
 
+// digg-lint: hot-path
+
 use crate::bitset::FanBitset;
 use crate::id::UserId;
 

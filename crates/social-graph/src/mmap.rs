@@ -173,8 +173,10 @@ impl From<std::io::Error> for GraphMapError {
 
 /// Raw mmap/munmap FFI — the only system-call bindings in the
 /// workspace (no libc crate; the constants are the Linux/BSD values
-/// for the read-only private mapping this module creates).
-#[cfg(unix)]
+/// for the read-only private mapping this module creates). Gated
+/// out under Miri, which cannot model a file-backed mapping — Miri
+/// runs exercise the heap backing instead (same `bytes()` contract).
+#[cfg(all(unix, not(miri)))]
 mod sys {
     use std::ffi::c_void;
 
@@ -204,7 +206,7 @@ mod sys {
 /// that makes every typed reinterpretation validly aligned on both
 /// backings.
 enum Backing {
-    #[cfg(unix)]
+    #[cfg(all(unix, not(miri)))]
     Mmap {
         ptr: *const u8,
         len: usize,
@@ -218,7 +220,7 @@ enum Backing {
 impl Backing {
     fn bytes(&self) -> &[u8] {
         match self {
-            #[cfg(unix)]
+            #[cfg(all(unix, not(miri)))]
             // SAFETY: `ptr` is the base of a live PROT_READ mapping of
             // exactly `len` bytes, created in `map_file` and unmapped
             // only in Drop; the mapping is private, so the slice's
@@ -237,7 +239,7 @@ impl Backing {
 
 impl Drop for Backing {
     fn drop(&mut self) {
-        #[cfg(unix)]
+        #[cfg(all(unix, not(miri)))]
         if let Backing::Mmap { ptr, len } = self {
             // SAFETY: exactly one munmap per successful mmap; the
             // pointer/length pair is the one the kernel returned.
@@ -476,7 +478,13 @@ pub fn write_graph_map(graph: &SocialGraph, path: &Path) -> Result<(), GraphMapE
     write_targets(&mut w, &mut written, n, m, |u| graph.fans(u))?;
 
     w.flush()?;
-    w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+    let f = w.into_inner().map_err(|e| e.into_error())?;
+    // Durability barrier before the rename publishes the name.
+    // Skipped under Miri, which has no stable storage to sync.
+    if !cfg!(miri) {
+        f.sync_all()?;
+    }
+    drop(f);
     std::fs::rename(&tmp, path)?;
     Ok(())
 }
@@ -577,7 +585,7 @@ fn resolve(
     })
 }
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 fn map_file(file: &File, len: usize) -> Option<Backing> {
     use std::os::unix::io::AsRawFd;
     // SAFETY: a fresh private read-only mapping of a file we hold
@@ -655,12 +663,12 @@ impl GraphMap {
         if len < 16 {
             return Err(GraphMapError::Truncated);
         }
-        #[cfg(unix)]
+        #[cfg(all(unix, not(miri)))]
         let backing = match map_file(&file, len) {
             Some(b) => b,
             None => read_file(&mut file, len)?,
         };
-        #[cfg(not(unix))]
+        #[cfg(any(not(unix), miri))]
         let backing = read_file(&mut file, len)?;
 
         let bytes = backing.bytes();

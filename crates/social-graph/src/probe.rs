@@ -84,6 +84,7 @@ impl FanProbe {
 
     /// Is `u` reached — a fan of any absorbed user? Out-of-capacity
     /// ids are simply absent.
+    // digg-lint: hot-path
     #[inline]
     pub fn contains(&self, u: UserId) -> bool {
         self.reached.contains(u)
@@ -97,6 +98,7 @@ impl FanProbe {
     ///
     /// Panics if `v` is out of range for `graph` (ids come from the
     /// graph) or if a fan id exceeds the probe's capacity.
+    // digg-lint: hot-path
     #[inline]
     pub fn absorb_fans<G: FanView>(
         &mut self,

@@ -51,11 +51,17 @@ fn pristine_file_opens() {
     assert_eq!(map.fans(UserId(0)).len(), 11);
 }
 
+/// Exhaustive natively; under Miri every iteration costs ~1000x, so
+/// sample with a stride coprime to the 8-byte word and 64-byte
+/// section layout — successive Miri runs of the suite still walk
+/// header, table, and every section class.
+const STEP: usize = if cfg!(miri) { 37 } else { 1 };
+
 #[test]
 fn every_single_byte_flip_is_detected_or_harmless() {
     let pristine = sample_bytes();
     let reference = open_patched(&pristine, "ref.graphmap").expect("pristine opens");
-    for i in 0..pristine.len() {
+    for i in (0..pristine.len()).step_by(STEP) {
         let mut bytes = pristine.clone();
         bytes[i] ^= 0xff;
         // Typed rejection is the expected outcome; getting an Err at
@@ -77,7 +83,7 @@ fn every_single_byte_flip_is_detected_or_harmless() {
 #[test]
 fn every_truncation_is_a_typed_error() {
     let pristine = sample_bytes();
-    for cut in 0..pristine.len() {
+    for cut in (0..pristine.len()).step_by(STEP) {
         let err = open_patched(&pristine[..cut], "trunc.graphmap")
             .err()
             .unwrap_or_else(|| panic!("truncation at {cut} must not open"));

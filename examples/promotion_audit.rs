@@ -39,7 +39,6 @@ fn main() {
         let graph = pop.graph.clone();
         let top100: std::collections::HashSet<_> = pop.ranking().into_iter().take(100).collect();
         let mut sim = Sim::new(cfg, pop);
-        // digg-lint: allow(no-wallclock) — demo progress print, never an artifact
         let t0 = std::time::Instant::now();
         sim.run(days * DAY);
         let promoted: Vec<_> = sim.stories().iter().filter(|s| s.is_front_page()).collect();

@@ -39,7 +39,6 @@ fn main() {
         saturation_days: 3,
         max_minutes: 30 * DAY,
     };
-    // digg-lint: allow(no-wallclock) — demo progress print, never an artifact
     let t0 = std::time::Instant::now();
     let synthesis = synthesize_small(&cfg);
     let ds = &synthesis.dataset;
